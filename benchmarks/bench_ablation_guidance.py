@@ -1,0 +1,82 @@
+"""A1 — Ablation of the three guidance signals (OP weight, naturalness, gradient).
+
+The proposed method mixes three signals: OP-weighted seed selection (RQ2), the
+naturalness constraint (RQ3) and loss-gradient guidance (Section II.c).  This
+ablation switches each off in turn and measures the operational-AE yield,
+exposing what each contributes.
+"""
+
+from __future__ import annotations
+
+from conftest import single_run
+
+from repro.core import MethodComparison, OperationalAECriterion, OperationalAEDetection
+from repro.evaluation import format_table
+from repro.fuzzing import FuzzerConfig
+from repro.sampling import OperationalSeedSampler
+
+
+BUDGET = 500
+
+
+def _variants(scenario):
+    base_sampler = OperationalSeedSampler(profile=scenario.profile)
+    no_op_sampler = OperationalSeedSampler(profile=scenario.profile, op_exponent=0.0)
+    no_failure_sampler = OperationalSeedSampler(profile=scenario.profile, failure_exponent=0.0)
+    return [
+        OperationalAEDetection(
+            profile=scenario.profile,
+            naturalness=scenario.naturalness,
+            sampler=base_sampler,
+            name="full (OP + naturalness + gradient)",
+        ),
+        OperationalAEDetection(
+            profile=scenario.profile,
+            naturalness=scenario.naturalness,
+            sampler=no_op_sampler,
+            name="no OP weight in seed sampling",
+        ),
+        OperationalAEDetection(
+            profile=scenario.profile,
+            naturalness=scenario.naturalness,
+            sampler=no_failure_sampler,
+            name="no failure weight in seed sampling",
+        ),
+        OperationalAEDetection(
+            profile=scenario.profile,
+            naturalness=scenario.naturalness,
+            sampler=base_sampler,
+            fuzzer_config=FuzzerConfig(naturalness_threshold=0.0),
+            name="no naturalness constraint",
+        ),
+        OperationalAEDetection(
+            profile=scenario.profile,
+            naturalness=scenario.naturalness,
+            sampler=base_sampler,
+            fuzzer_config=FuzzerConfig(use_gradient=False),
+            name="no gradient guidance",
+        ),
+    ]
+
+
+def _run_ablation(scenario):
+    comparison = MethodComparison(
+        _variants(scenario), OperationalAECriterion(min_naturalness=0.5, min_op_density=0.5)
+    )
+    return comparison.run(scenario.model, scenario.operational_data, [BUDGET], repeats=2, rng=23)
+
+
+def test_a1_guidance_ablation(benchmark, clusters_scenario):
+    report = single_run(benchmark, _run_ablation, clusters_scenario)
+    print()
+    print(format_table(report.as_rows(), "A1: guidance-signal ablation"))
+    by_name = {s.method: s for s in report.scores}
+    full = by_name["full (OP + naturalness + gradient)"]
+    # removing the naturalness constraint lowers the mean naturalness of what is found
+    no_nat = by_name["no naturalness constraint"]
+    if full.total_aes and no_nat.total_aes:
+        assert full.mean_naturalness >= no_nat.mean_naturalness - 0.1
+    # removing the OP weight lowers the operational mass of what is found
+    no_op = by_name["no OP weight in seed sampling"]
+    if full.total_aes and no_op.total_aes:
+        assert full.mean_op_density >= no_op.mean_op_density - 0.15

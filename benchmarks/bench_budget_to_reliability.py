@@ -1,0 +1,86 @@
+"""E3 — Test cases needed to reach a delivered-reliability target.
+
+The paper's success criterion (Section IV) is "requiring significantly less
+amount of test cases to achieve the same level of reliability".  For each
+method we spend an increasing budget on detection, retrain on whatever was
+found, and record the pmi of the retrained model; the series shows how much
+testing each method needs before the reliability target is met.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from conftest import single_run
+
+from repro.core import (
+    AttackOnUniformSeeds,
+    OperationalAEDetection,
+    RandomFuzzBaseline,
+)
+from repro.evaluation import format_table
+from repro.reliability import ReliabilityAssessor
+from repro.retraining import OperationalRetrainer, RetrainingConfig
+
+
+BUDGETS = [200, 400, 800]
+TARGET_PMI = 0.03
+
+
+def _methods(scenario):
+    return [
+        OperationalAEDetection(profile=scenario.profile, naturalness=scenario.naturalness),
+        AttackOnUniformSeeds(
+            profile=scenario.profile,
+            naturalness=scenario.naturalness,
+            seed_pool=scenario.train_data,
+        ),
+        RandomFuzzBaseline(
+            profile=scenario.profile,
+            naturalness=scenario.naturalness,
+            seed_pool=scenario.train_data,
+        ),
+    ]
+
+
+def _budget_to_reliability(scenario):
+    assessor = ReliabilityAssessor(
+        partition=scenario.partition, profile=scenario.profile, confidence=0.85, rng=0
+    )
+    retrainer = OperationalRetrainer(
+        config=RetrainingConfig(epochs=5), profile=scenario.profile, rng=0
+    )
+    baseline_estimate = assessor.assess(scenario.model, scenario.operational_data, rng=0)
+    rows = []
+    for method in _methods(scenario):
+        for budget in BUDGETS:
+            detection = method.detect(scenario.model, scenario.operational_data, budget, rng=3)
+            retrained = retrainer.retrain(
+                scenario.model, scenario.train_data, detection.adversarial_examples
+            )
+            estimate = assessor.assess(retrained, scenario.operational_data, rng=0)
+            rows.append(
+                {
+                    "method": method.name,
+                    "budget": budget,
+                    "AEs-used": detection.num_detected,
+                    "pmi-before": round(baseline_estimate.pmi, 4),
+                    "pmi-after": round(estimate.pmi, 4),
+                    "target-met": estimate.pmi <= TARGET_PMI,
+                }
+            )
+    return rows, baseline_estimate
+
+
+def test_e3_budget_to_reliability(benchmark, clusters_scenario):
+    rows, baseline = single_run(benchmark, _budget_to_reliability, clusters_scenario)
+    print()
+    print(format_table(rows, f"E3: pmi after retraining (baseline pmi={baseline.pmi:.4f})"))
+    proposed = [r for r in rows if r["method"] == "operational-ae-detection"]
+    # retraining guided by operational AEs must not make reliability worse, and
+    # at the largest budget it should improve (or at least match) the baseline pmi
+    final = proposed[-1]["pmi-after"]
+    assert final <= baseline.pmi + 0.02
+    # the proposed method's reliability after retraining should be at least as
+    # good as the unguided random-fuzz baseline's at the same budget
+    fuzz = [r for r in rows if r["method"] == "random-fuzz-uniform-seeds"]
+    assert proposed[-1]["pmi-after"] <= fuzz[-1]["pmi-after"] + 0.02

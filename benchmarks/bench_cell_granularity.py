@@ -1,0 +1,56 @@
+"""A2 — Cell granularity vs reliability-estimate quality and cost.
+
+The ReAsDL-style assessment partitions the input space into cells; finer
+partitions approximate the OP better but need more evidence per unit of
+confidence.  This sweep varies the grid resolution and reports the pmi
+estimate, its conservative upper bound, the OP mass actually covered by
+evidence, and the number of model queries spent.
+"""
+
+from __future__ import annotations
+
+from conftest import single_run
+
+from repro.data import GridPartition
+from repro.evaluation import format_table
+from repro.reliability import CellRobustnessEvaluator, ReliabilityAssessor
+
+
+RESOLUTIONS = [4, 8, 12, 16]
+
+
+def _granularity_sweep(scenario):
+    rows = []
+    for bins in RESOLUTIONS:
+        partition = GridPartition(2, bins_per_dim=bins)
+        assessor = ReliabilityAssessor(
+            partition=partition,
+            profile=scenario.profile,
+            evaluator=CellRobustnessEvaluator(partition, samples_per_cell=8),
+            confidence=0.9,
+            rng=0,
+        )
+        estimate = assessor.assess(scenario.model, scenario.operational_data, rng=0)
+        rows.append(
+            {
+                "bins-per-dim": bins,
+                "cells": partition.num_cells,
+                "cells-evaluated": estimate.cells_evaluated,
+                "op-mass-covered": round(estimate.total_op_mass_evaluated, 3),
+                "pmi": round(estimate.pmi, 4),
+                "pmi-upper": round(estimate.pmi_upper, 4),
+                "queries": estimate.queries,
+            }
+        )
+    return rows
+
+
+def test_a2_cell_granularity(benchmark, clusters_scenario):
+    rows = single_run(benchmark, _granularity_sweep, clusters_scenario)
+    print()
+    print(format_table(rows, "A2: partition granularity sweep"))
+    # finer partitions cost more queries
+    assert rows[-1]["queries"] >= rows[0]["queries"]
+    # every resolution produces a valid estimate
+    for row in rows:
+        assert 0.0 <= row["pmi"] <= row["pmi-upper"] <= 1.0

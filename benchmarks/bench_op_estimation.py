@@ -1,0 +1,65 @@
+"""E5 — Operational-profile estimation quality vs. amount of operational data (RQ1).
+
+Measures how close each profile estimator gets to the ground-truth OP (in
+Jensen–Shannon divergence over a shared cell partition) as the operational
+sample grows, and how that compares against the naive assumption that the
+balanced training distribution is the OP.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from conftest import single_run
+
+from repro.data import GridPartition
+from repro.evaluation import format_table
+from repro.op import (
+    FrequencyProfileEstimator,
+    GMMProfileEstimator,
+    KDEProfileEstimator,
+    ground_truth_profile_for_clusters,
+    profile_divergence,
+    profile_from_dataset,
+)
+
+
+SAMPLE_SIZES = [50, 200, 1000]
+
+
+def _estimation_error_curves(scenario):
+    truth = scenario.profile
+    partition = GridPartition(2, bins_per_dim=8)
+    operational_x, operational_y = truth.sample_labeled(max(SAMPLE_SIZES), rng=11)
+    balanced = profile_from_dataset(scenario.train_data)
+
+    estimators = {
+        "frequency": lambda x, y: FrequencyProfileEstimator(
+            reference=scenario.train_data
+        ).fit(x, y),
+        "kde": lambda x, y: KDEProfileEstimator(rng=0).fit(x, y),
+        "gmm": lambda x, y: GMMProfileEstimator(num_components=4, rng=0).fit(x, y),
+    }
+
+    rows = []
+    for size in SAMPLE_SIZES:
+        x, y = operational_x[:size], operational_y[:size]
+        for name, fit in estimators.items():
+            estimated = fit(x, y)
+            divergence = profile_divergence(estimated, truth, partition, metric="js", rng=0)
+            rows.append({"estimator": name, "samples": size, "js-to-truth": round(divergence, 4)})
+    naive = profile_divergence(balanced, truth, partition, metric="js", rng=0)
+    rows.append({"estimator": "balanced-training-data (naive)", "samples": 0, "js-to-truth": round(naive, 4)})
+    return rows, naive
+
+
+def test_e5_op_estimation_quality(benchmark, clusters_scenario):
+    rows, naive = single_run(benchmark, _estimation_error_curves, clusters_scenario)
+    print()
+    print(format_table(rows, "E5: JS divergence of estimated OP to ground truth"))
+    # with enough operational data every estimator beats the naive assumption
+    for name in ("frequency", "kde", "gmm"):
+        best = min(r["js-to-truth"] for r in rows if r["estimator"] == name)
+        assert best < naive
+    # more data should not make the frequency estimate worse
+    freq = [r["js-to-truth"] for r in rows if r["estimator"] == "frequency"]
+    assert freq[-1] <= freq[0] + 0.02

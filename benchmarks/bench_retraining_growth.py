@@ -1,0 +1,77 @@
+"""E7 — Reliability growth across loop iterations; OP-aware vs OP-ignorant retraining (RQ4/RQ5).
+
+Runs several iterations of the testing loop and records the pmi trajectory,
+then compares the final delivered reliability of OP-aware retraining against a
+Madry-style adversarial-training baseline that ignores both the detected
+operational AEs and the OP.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from conftest import single_run
+
+from repro.core import OperationalAEDetection, OperationalTestingLoop, WorkflowConfig
+from repro.evaluation import campaign_to_rows, format_table
+from repro.fuzzing import FuzzerConfig
+from repro.reliability import ReliabilityAssessor, StoppingRule
+from repro.retraining import OperationalRetrainer, RetrainingConfig, StandardAdversarialTrainer
+
+
+def _growth_and_comparison(scenario):
+    # -- reliability growth over loop iterations --------------------------- #
+    loop = OperationalTestingLoop(
+        profile=scenario.profile,
+        train_data=scenario.train_data,
+        partition=scenario.partition,
+        naturalness=scenario.naturalness,
+        fuzzer_config=FuzzerConfig(queries_per_seed=20),
+        retraining_config=RetrainingConfig(epochs=4),
+        stopping_rule=StoppingRule(target_pmi=0.005, confidence=0.85, max_iterations=3),
+        workflow_config=WorkflowConfig(test_budget_per_iteration=400, seeds_per_iteration=20),
+        rng=17,
+    )
+    _, campaign = loop.run(scenario.model, scenario.operational_data)
+
+    # -- OP-aware vs OP-ignorant retraining at a fixed detection budget ----- #
+    assessor = ReliabilityAssessor(
+        partition=scenario.partition, profile=scenario.profile, confidence=0.85, rng=0
+    )
+    detection = OperationalAEDetection(
+        profile=scenario.profile, naturalness=scenario.naturalness
+    ).detect(scenario.model, scenario.operational_data, 600, rng=17)
+    op_aware = OperationalRetrainer(
+        config=RetrainingConfig(epochs=5), profile=scenario.profile, rng=0
+    ).retrain(scenario.model, scenario.train_data, detection.adversarial_examples)
+    op_ignorant = StandardAdversarialTrainer(
+        epsilon=0.1, pgd_steps=3, epochs=2, learning_rate=3e-4, rng=0
+    ).retrain(scenario.model, scenario.train_data)
+
+    comparison_rows = [
+        {
+            "model": "original",
+            "pmi": round(assessor.assess(scenario.model, scenario.operational_data, rng=0).pmi, 4),
+        },
+        {
+            "model": "op-aware retraining (proposed)",
+            "pmi": round(assessor.assess(op_aware, scenario.operational_data, rng=0).pmi, 4),
+        },
+        {
+            "model": "madry adversarial training (OP-ignorant)",
+            "pmi": round(assessor.assess(op_ignorant, scenario.operational_data, rng=0).pmi, 4),
+        },
+    ]
+    return campaign, comparison_rows
+
+
+def test_e7_reliability_growth(benchmark, clusters_scenario):
+    campaign, comparison_rows = single_run(benchmark, _growth_and_comparison, clusters_scenario)
+    print()
+    print(format_table(campaign_to_rows(campaign), "E7a: pmi trajectory over loop iterations"))
+    print(format_table(comparison_rows, "E7b: retraining scheme comparison"))
+    original = comparison_rows[0]["pmi"]
+    op_aware = comparison_rows[1]["pmi"]
+    # OP-aware retraining must not degrade delivered reliability
+    assert op_aware <= original + 0.02
+    # the loop's final pmi must not be worse than where it started
+    assert campaign.final_pmi <= campaign.iterations[0].pmi_before + 0.05

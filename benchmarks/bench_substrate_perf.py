@@ -1,0 +1,66 @@
+"""P1 — Micro-benchmarks of the substrates (numpy NN, attacks, naturalness scoring).
+
+These are conventional pytest-benchmark timings (multiple rounds) so the
+throughput of the building blocks can be tracked across changes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.attacks import PGD
+from repro.naturalness import DensityNaturalness
+from repro.nn import Adam, build_mlp_classifier
+from repro.op import GMMProfileEstimator
+
+
+@pytest.fixture(scope="module")
+def perf_model(clusters_scenario):
+    return clusters_scenario.model
+
+
+@pytest.fixture(scope="module")
+def perf_batch(clusters_scenario):
+    data = clusters_scenario.operational_data
+    return data.x[:256], data.y[:256]
+
+
+def test_p1_forward_pass_throughput(benchmark, perf_model, perf_batch):
+    x, _ = perf_batch
+    benchmark(perf_model.predict_proba, x)
+
+
+def test_p1_input_gradient_throughput(benchmark, perf_model, perf_batch):
+    x, y = perf_batch
+    benchmark(perf_model.loss_input_gradient, x, y)
+
+
+def test_p1_training_step_throughput(benchmark, clusters_scenario):
+    train = clusters_scenario.train_data
+    model = build_mlp_classifier(train.num_features, train.num_classes, hidden_sizes=(32, 16), rng=0)
+    optimizer = Adam(learning_rate=0.005)
+
+    def step():
+        model.train_step_gradients(train.x[:128], train.y[:128])
+        optimizer.step(model.layers)
+
+    benchmark(step)
+
+
+def test_p1_pgd_attack_throughput(benchmark, perf_model, perf_batch):
+    x, y = perf_batch
+    attack = PGD(epsilon=0.1, num_steps=5, early_stop=False)
+    benchmark.pedantic(attack.run, args=(perf_model, x[:64], y[:64]), kwargs={"rng": 0}, rounds=3, iterations=1)
+
+
+def test_p1_naturalness_scoring_throughput(benchmark, clusters_scenario, perf_batch):
+    x, _ = perf_batch
+    scorer = DensityNaturalness(rng=0).fit(clusters_scenario.train_data.x)
+    benchmark(scorer.score, x[:128])
+
+
+def test_p1_gmm_fit_throughput(benchmark, clusters_scenario):
+    x = clusters_scenario.operational_data.x[:500]
+    estimator = GMMProfileEstimator(num_components=4, max_iterations=50, num_restarts=1, rng=0)
+    benchmark.pedantic(estimator.fit, args=(x,), rounds=3, iterations=1)

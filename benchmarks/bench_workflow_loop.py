@@ -1,0 +1,46 @@
+"""E1 — End-to-end run of the five-step workflow of Figure 1.
+
+Shows the loop operating as designed: learn/synthesise the operational
+dataset, sample seeds, fuzz for operational AEs, retrain, re-assess delivered
+reliability, and stop when the pmi target (or the iteration cap) is reached.
+"""
+
+from __future__ import annotations
+
+from conftest import single_run
+
+from repro.core import OperationalTestingLoop, WorkflowConfig
+from repro.evaluation import campaign_to_rows, format_table
+from repro.fuzzing import FuzzerConfig
+from repro.reliability import StoppingRule
+from repro.retraining import RetrainingConfig
+
+
+def _run_loop(scenario):
+    loop = OperationalTestingLoop(
+        profile=scenario.profile,
+        train_data=scenario.train_data,
+        partition=scenario.partition,
+        naturalness=scenario.naturalness,
+        fuzzer_config=FuzzerConfig(epsilon=0.1, queries_per_seed=20),
+        retraining_config=RetrainingConfig(epochs=5),
+        stopping_rule=StoppingRule(target_pmi=0.03, confidence=0.85, max_iterations=4),
+        workflow_config=WorkflowConfig(
+            test_budget_per_iteration=500,
+            seeds_per_iteration=25,
+        ),
+        rng=2021,
+    )
+    return loop.run(scenario.model, scenario.operational_data)
+
+
+def test_e1_workflow_loop_converges(benchmark, clusters_scenario):
+    final_model, report = single_run(benchmark, _run_loop, clusters_scenario)
+    print()
+    print(format_table(campaign_to_rows(report), "E1: five-step loop per-iteration summary"))
+    assert report.num_iterations >= 1
+    assert report.total_test_cases > 0
+    # retraining on operational AEs must not degrade delivered reliability
+    assert report.final_pmi <= report.iterations[0].pmi_before + 0.05
+    # the improved model still classifies operational data
+    assert final_model.predict(clusters_scenario.operational_data.x[:5]).shape == (5,)

@@ -1,0 +1,55 @@
+"""Compare AE-detection methods under equal testing budgets (paper's E2 experiment).
+
+Pits the proposed operational-AE detection against three baselines on the same
+model, operational profile and test-case budgets, and prints the comparison
+table the evaluation section of the paper would report.
+
+Run with:  python examples/method_comparison.py
+"""
+
+from __future__ import annotations
+
+from repro.core import (
+    AttackOnUniformSeeds,
+    MethodComparison,
+    OperationalAECriterion,
+    OperationalAEDetection,
+    OperationalTestingBaseline,
+    RandomFuzzBaseline,
+)
+from repro.evaluation import format_table, make_clusters_scenario
+
+SEED = 2021
+BUDGETS = [300, 600, 1200]
+
+
+def main() -> None:
+    scenario = make_clusters_scenario(rng=SEED)
+    methods = [
+        OperationalAEDetection(profile=scenario.profile, naturalness=scenario.naturalness),
+        AttackOnUniformSeeds(
+            profile=scenario.profile,
+            naturalness=scenario.naturalness,
+            seed_pool=scenario.train_data,
+        ),
+        RandomFuzzBaseline(
+            profile=scenario.profile,
+            naturalness=scenario.naturalness,
+            seed_pool=scenario.train_data,
+        ),
+        OperationalTestingBaseline(profile=scenario.profile, naturalness=scenario.naturalness),
+    ]
+    criterion = OperationalAECriterion(min_naturalness=0.5, min_op_density=0.5)
+    comparison = MethodComparison(methods, criterion)
+    report = comparison.run(
+        scenario.model, scenario.operational_data, budgets=BUDGETS, repeats=2, rng=SEED
+    )
+    print(format_table(report.as_rows(), "detection methods under equal test-case budgets"))
+    print()
+    for budget in BUDGETS:
+        best = report.best_method_by_operational_aes(budget)
+        print(f"most operational AEs at budget {budget}: {best}")
+
+
+if __name__ == "__main__":
+    main()

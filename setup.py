@@ -1,0 +1,21 @@
+"""Setuptools shim so ``pip install -e .`` works with older tooling.
+
+All project metadata lives in ``pyproject.toml``; this file only exists to
+enable legacy editable installs in environments without network access to
+fetch modern build backends.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Operational adversarial example detection for reliable deep learning "
+        "(DSN 2021 reproduction)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.9",
+    install_requires=["numpy>=1.21", "scipy>=1.7"],
+)

@@ -1,0 +1,71 @@
+"""repro — Operational adversarial example detection for reliable deep learning.
+
+Reproduction of the DSN 2021 fast abstract *"Detecting Operational Adversarial
+Examples for Reliable Deep Learning"* (Zhao, Huang, Schewe, Dong, Huang).
+
+The package implements the paper's five-step testing workflow and every
+substrate it depends on:
+
+* :mod:`repro.nn` — numpy deep-learning framework (models under test).
+* :mod:`repro.data` — synthetic datasets, transforms, input-space cells.
+* :mod:`repro.op` — operational-profile modelling, estimation, synthesis, drift (RQ1).
+* :mod:`repro.naturalness` — quantified naturalness / local-OP proxies.
+* :mod:`repro.attacks` — FGSM, PGD and black-box baselines.
+* :mod:`repro.sampling` — weight-based seed sampling (RQ2).
+* :mod:`repro.fuzzing` — naturalness-guided operational fuzzer (RQ3).
+* :mod:`repro.retraining` — OP-aware adversarial retraining (RQ4).
+* :mod:`repro.reliability` — cell-based reliability assessment (RQ5).
+* :mod:`repro.core` — detection methods, comparison harness and the full loop.
+* :mod:`repro.evaluation` — experiment scenarios and reporting.
+"""
+
+from . import (
+    attacks,
+    config,
+    core,
+    data,
+    evaluation,
+    exceptions,
+    fuzzing,
+    naturalness,
+    nn,
+    op,
+    reliability,
+    retraining,
+    sampling,
+    types,
+)
+from .types import (
+    AdversarialExample,
+    CampaignReport,
+    Classifier,
+    DetectionResult,
+    IterationReport,
+    LabeledBatch,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "attacks",
+    "config",
+    "core",
+    "data",
+    "evaluation",
+    "exceptions",
+    "fuzzing",
+    "naturalness",
+    "nn",
+    "op",
+    "reliability",
+    "retraining",
+    "sampling",
+    "types",
+    "AdversarialExample",
+    "CampaignReport",
+    "Classifier",
+    "DetectionResult",
+    "IterationReport",
+    "LabeledBatch",
+    "__version__",
+]

@@ -1,0 +1,47 @@
+"""Adversarial attacks: gradient-based (FGSM, PGD) and black-box baselines.
+
+These are the AE detectors the paper treats as state of the art ("existing
+attacking algorithms, e.g. Madry et al."); combined with uniform seed
+selection they form the OP-ignorant baselines the operational testing loop is
+evaluated against, and PGD doubles as the inner maximisation for adversarial
+retraining (RQ4).
+"""
+
+from .base import Attack, AttackResult
+from .gradient import FGSM, PGD
+from .random_search import BoundaryNudge, GaussianNoise, RandomFuzz
+
+_ATTACKS = {
+    "fgsm": FGSM,
+    "pgd": PGD,
+    "random-fuzz": RandomFuzz,
+    "gaussian-noise": GaussianNoise,
+    "boundary-nudge": BoundaryNudge,
+}
+
+
+def attack_from_name(name: str, **kwargs) -> Attack:
+    """Create an attack by its registry name (see :func:`available_attacks`)."""
+    from ..exceptions import AttackError
+
+    if name not in _ATTACKS:
+        raise AttackError(f"unknown attack {name!r}; expected one of {sorted(_ATTACKS)}")
+    return _ATTACKS[name](**kwargs)
+
+
+def available_attacks() -> list[str]:
+    """Names accepted by :func:`attack_from_name`."""
+    return sorted(_ATTACKS)
+
+
+__all__ = [
+    "Attack",
+    "AttackResult",
+    "FGSM",
+    "PGD",
+    "BoundaryNudge",
+    "GaussianNoise",
+    "RandomFuzz",
+    "attack_from_name",
+    "available_attacks",
+]

@@ -1,0 +1,213 @@
+"""Gradient-free attacks: random fuzzing, Gaussian noise and boundary nudging.
+
+These serve two purposes: (i) black-box baselines for the detection-efficiency
+comparison (a plain fuzzer spends many test cases per AE, which is exactly the
+inefficiency of unguided operational testing the paper cites from Frankl et
+al.), and (ii) mutation primitives reused by the operational fuzzer of RQ3.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..config import RngLike, ensure_rng
+from ..exceptions import AttackError
+from ..types import Classifier
+from .base import Attack, AttackResult
+
+
+class RandomFuzz(Attack):
+    """Uniform random search inside the L∞ ball around each seed.
+
+    Parameters
+    ----------
+    epsilon:
+        Radius of the search ball.
+    num_trials:
+        Maximum random candidates evaluated per seed.
+    early_stop:
+        Stop fuzzing a seed as soon as a misclassification is found.
+    """
+
+    name = "random-fuzz"
+
+    def __init__(self, epsilon: float = 0.1, num_trials: int = 20, early_stop: bool = True) -> None:
+        super().__init__(epsilon)
+        if num_trials <= 0:
+            raise AttackError("num_trials must be positive")
+        self.num_trials = num_trials
+        self.early_stop = early_stop
+
+    def run(
+        self,
+        model: Classifier,
+        x: np.ndarray,
+        y: np.ndarray,
+        rng: RngLike = None,
+    ) -> AttackResult:
+        x, y = self._validate_batch(x, y)
+        generator = ensure_rng(rng)
+        n = len(x)
+        best = x.copy()
+        best_pred = model.predict(x)
+        queries_per_seed = np.ones(n, dtype=int)
+        best_success = best_pred != y
+        active = ~best_success if self.early_stop else np.ones(n, dtype=bool)
+
+        for _ in range(self.num_trials):
+            if not np.any(active):
+                break
+            idx = np.flatnonzero(active)
+            noise = generator.uniform(-self.epsilon, self.epsilon, size=(len(idx), x.shape[1]))
+            candidates = self._project(x[idx] + noise, x[idx])
+            predictions = model.predict(candidates)
+            queries_per_seed[idx] += 1
+            hit = predictions != y[idx]
+            hit_idx = idx[hit]
+            best[hit_idx] = candidates[hit]
+            best_pred[hit_idx] = predictions[hit]
+            best_success[hit_idx] = True
+            if self.early_stop:
+                active[hit_idx] = False
+
+        return AttackResult(
+            adversarial_x=best,
+            success=best_success,
+            predicted_labels=best_pred,
+            queries=int(queries_per_seed.sum()),
+            queries_per_seed=queries_per_seed,
+        )
+
+
+class GaussianNoise(Attack):
+    """Benign environmental perturbations: clipped Gaussian noise around the seed.
+
+    Models the footnote-1 interpretation of "adversarial" examples as benign
+    inputs perturbed by the natural environment rather than a malicious
+    attacker.
+    """
+
+    name = "gaussian-noise"
+
+    def __init__(self, epsilon: float = 0.1, std_fraction: float = 0.5, num_trials: int = 10) -> None:
+        super().__init__(epsilon)
+        if not 0 < std_fraction <= 1:
+            raise AttackError("std_fraction must be in (0, 1]")
+        if num_trials <= 0:
+            raise AttackError("num_trials must be positive")
+        self.std_fraction = std_fraction
+        self.num_trials = num_trials
+
+    def run(
+        self,
+        model: Classifier,
+        x: np.ndarray,
+        y: np.ndarray,
+        rng: RngLike = None,
+    ) -> AttackResult:
+        x, y = self._validate_batch(x, y)
+        generator = ensure_rng(rng)
+        n = len(x)
+        std = self.epsilon * self.std_fraction
+        best = x.copy()
+        best_pred = model.predict(x)
+        queries_per_seed = np.ones(n, dtype=int)
+        best_success = best_pred != y
+        active = ~best_success
+
+        for _ in range(self.num_trials):
+            if not np.any(active):
+                break
+            idx = np.flatnonzero(active)
+            noise = generator.normal(0.0, std, size=(len(idx), x.shape[1]))
+            candidates = self._project(x[idx] + noise, x[idx])
+            predictions = model.predict(candidates)
+            queries_per_seed[idx] += 1
+            hit = predictions != y[idx]
+            hit_idx = idx[hit]
+            best[hit_idx] = candidates[hit]
+            best_pred[hit_idx] = predictions[hit]
+            best_success[hit_idx] = True
+            active[hit_idx] = False
+
+        return AttackResult(
+            adversarial_x=best,
+            success=best_success,
+            predicted_labels=best_pred,
+            queries=int(queries_per_seed.sum()),
+            queries_per_seed=queries_per_seed,
+        )
+
+
+class BoundaryNudge(Attack):
+    """Interpolate from the seed towards same-ball inputs of other classes.
+
+    A simple decision-boundary probe: candidates are convex combinations of the
+    seed and a random "target" direction, searched with bisection.  Useful as a
+    gradient-free but informed baseline between random fuzzing and PGD.
+    """
+
+    name = "boundary-nudge"
+
+    def __init__(self, epsilon: float = 0.1, num_directions: int = 5, num_bisections: int = 4) -> None:
+        super().__init__(epsilon)
+        if num_directions <= 0 or num_bisections <= 0:
+            raise AttackError("num_directions and num_bisections must be positive")
+        self.num_directions = num_directions
+        self.num_bisections = num_bisections
+
+    def run(
+        self,
+        model: Classifier,
+        x: np.ndarray,
+        y: np.ndarray,
+        rng: RngLike = None,
+    ) -> AttackResult:
+        x, y = self._validate_batch(x, y)
+        generator = ensure_rng(rng)
+        n, d = x.shape
+        best = x.copy()
+        best_pred = model.predict(x)
+        queries_per_seed = np.ones(n, dtype=int)
+        best_success = best_pred != y
+
+        for seed_index in range(n):
+            if best_success[seed_index]:
+                continue
+            seed = x[seed_index]
+            label = y[seed_index]
+            for _ in range(self.num_directions):
+                direction = generator.choice([-1.0, 1.0], size=d)
+                far = self._project(seed + self.epsilon * direction, seed[None, :])[0]
+                prediction = model.predict(far[None, :])[0]
+                queries_per_seed[seed_index] += 1
+                if prediction == label:
+                    continue
+                # bisection: shrink towards the seed while staying misclassified
+                lo, hi = 0.0, 1.0
+                candidate, candidate_pred = far, prediction
+                for _ in range(self.num_bisections):
+                    mid = (lo + hi) / 2
+                    probe = self._project(seed + mid * (far - seed), seed[None, :])[0]
+                    probe_pred = model.predict(probe[None, :])[0]
+                    queries_per_seed[seed_index] += 1
+                    if probe_pred != label:
+                        hi = mid
+                        candidate, candidate_pred = probe, probe_pred
+                    else:
+                        lo = mid
+                best[seed_index] = candidate
+                best_pred[seed_index] = candidate_pred
+                best_success[seed_index] = True
+                break
+
+        return AttackResult(
+            adversarial_x=best,
+            success=best_success,
+            predicted_labels=best_pred,
+            queries=int(queries_per_seed.sum()),
+            queries_per_seed=queries_per_seed,
+        )
+
+
+__all__ = ["RandomFuzz", "GaussianNoise", "BoundaryNudge"]

@@ -1,0 +1,84 @@
+"""Global configuration helpers shared across the library.
+
+The library never touches :mod:`numpy`'s global random state.  Every stochastic
+component accepts either an integer seed or a :class:`numpy.random.Generator`
+and converts it through :func:`ensure_rng`, so experiments are reproducible by
+construction and independent components can be seeded independently.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Union
+
+import numpy as np
+
+from .exceptions import ConfigurationError
+
+#: Type accepted everywhere a random source is needed.
+RngLike = Union[None, int, np.random.Generator]
+
+#: Default floating point dtype used by the numpy neural-network substrate.
+DEFAULT_DTYPE = np.float64
+
+#: Numerical floor used to avoid log(0) / division by zero in probabilities.
+EPSILON = 1e-12
+
+
+def ensure_rng(rng: RngLike = None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` from a seed, generator or ``None``.
+
+    Parameters
+    ----------
+    rng:
+        ``None`` (fresh nondeterministic generator), an ``int`` seed, or an
+        existing :class:`numpy.random.Generator` which is returned unchanged.
+    """
+    if rng is None:
+        return np.random.default_rng()
+    if isinstance(rng, np.random.Generator):
+        return rng
+    if isinstance(rng, (int, np.integer)):
+        if rng < 0:
+            raise ConfigurationError(f"random seed must be non-negative, got {rng}")
+        return np.random.default_rng(int(rng))
+    raise ConfigurationError(
+        f"expected None, int seed or numpy Generator, got {type(rng).__name__}"
+    )
+
+
+def spawn_rngs(rng: RngLike, count: int) -> list[np.random.Generator]:
+    """Split one random source into ``count`` independent child generators."""
+    if count < 0:
+        raise ConfigurationError(f"count must be non-negative, got {count}")
+    parent = ensure_rng(rng)
+    seeds = parent.integers(0, 2**31 - 1, size=count)
+    return [np.random.default_rng(int(s)) for s in seeds]
+
+
+@dataclass(frozen=True)
+class GlobalConfig:
+    """Library-wide defaults bundled in one immutable object.
+
+    Attributes
+    ----------
+    dtype:
+        Floating point dtype used by the neural-network substrate.
+    epsilon:
+        Numerical floor for probabilities and denominators.
+    default_seed:
+        Seed used by example scripts and benchmarks when none is supplied.
+    """
+
+    dtype: np.dtype = DEFAULT_DTYPE
+    epsilon: float = EPSILON
+    default_seed: Optional[int] = 2021  # year of the paper
+
+
+#: Singleton default configuration used by examples and benchmarks.
+DEFAULTS = GlobalConfig()
+
+
+def clip01(x: np.ndarray) -> np.ndarray:
+    """Clip an array into the canonical ``[0, 1]`` input domain."""
+    return np.clip(x, 0.0, 1.0)

@@ -1,0 +1,35 @@
+"""The paper's primary contribution: the operational-AE testing method.
+
+This package wires the subsystem packages into (i) budgeted detection methods
+(the proposed method and its baselines), (ii) a fair comparison harness, and
+(iii) the five-step iterative testing loop of Figure 1.
+"""
+
+from .comparison import (
+    ComparisonReport,
+    MethodComparison,
+    MethodScore,
+    OperationalAECriterion,
+)
+from .methods import (
+    AttackOnUniformSeeds,
+    DetectionMethod,
+    OperationalAEDetection,
+    OperationalTestingBaseline,
+    RandomFuzzBaseline,
+)
+from .workflow import OperationalTestingLoop, WorkflowConfig
+
+__all__ = [
+    "ComparisonReport",
+    "MethodComparison",
+    "MethodScore",
+    "OperationalAECriterion",
+    "AttackOnUniformSeeds",
+    "DetectionMethod",
+    "OperationalAEDetection",
+    "OperationalTestingBaseline",
+    "RandomFuzzBaseline",
+    "OperationalTestingLoop",
+    "WorkflowConfig",
+]

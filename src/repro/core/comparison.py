@@ -1,0 +1,182 @@
+"""Fair comparison of detection methods under equal test-case budgets.
+
+The comparison answers the paper's central empirical questions: given the
+same number of test cases, which method detects more *operational* AEs (E2),
+how natural are they (E4), and how much delivered-reliability improvement do
+they buy after retraining (E3/E7)?
+
+An AE counts as *operational* when both its naturalness and its seed's OP
+density clear configurable thresholds — the quantitative version of the
+paper's "AEs that have relatively high chance to be seen in future operation".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..config import RngLike, ensure_rng, spawn_rngs
+from ..data.dataset import Dataset
+from ..exceptions import ConfigurationError
+from ..types import AdversarialExample, Classifier, DetectionResult
+from .methods import DetectionMethod
+
+
+@dataclass
+class OperationalAECriterion:
+    """Decides whether a detected AE counts as an operational AE.
+
+    Attributes
+    ----------
+    min_naturalness:
+        Minimum naturalness score (relative to natural data's median of ~1.0).
+    min_op_density:
+        Minimum OP density relative to the operational dataset's mean (1.0
+        means "at least as likely as an average operational input").
+    require_annotations:
+        When ``True`` an AE missing either annotation does not count; when
+        ``False`` missing annotations are treated as passing.
+    """
+
+    min_naturalness: float = 0.5
+    min_op_density: float = 0.5
+    require_annotations: bool = True
+
+    def is_operational(self, ae: AdversarialExample) -> bool:
+        naturalness_ok = self._check(ae.naturalness, self.min_naturalness)
+        density_ok = self._check(ae.op_density, self.min_op_density)
+        return naturalness_ok and density_ok
+
+    def _check(self, value: Optional[float], threshold: float) -> bool:
+        if value is None:
+            return not self.require_annotations
+        return value >= threshold
+
+    def count(self, result: DetectionResult) -> int:
+        """Number of operational AEs in a detection result."""
+        return sum(1 for ae in result.adversarial_examples if self.is_operational(ae))
+
+
+@dataclass
+class MethodScore:
+    """Aggregated metrics of one method at one budget (possibly over repeats)."""
+
+    method: str
+    budget: int
+    total_aes: float
+    operational_aes: float
+    operational_yield: float  # operational AEs per 100 test cases
+    mean_naturalness: float
+    mean_op_density: float
+    op_weighted_mass: float
+    test_cases_used: float
+    repeats: int = 1
+
+
+@dataclass
+class ComparisonReport:
+    """All method scores produced by one comparison run."""
+
+    scores: List[MethodScore] = field(default_factory=list)
+    criterion: OperationalAECriterion = field(default_factory=OperationalAECriterion)
+
+    def for_method(self, method: str) -> List[MethodScore]:
+        return [s for s in self.scores if s.method == method]
+
+    def for_budget(self, budget: int) -> List[MethodScore]:
+        return [s for s in self.scores if s.budget == budget]
+
+    def best_method_by_operational_aes(self, budget: int) -> Optional[str]:
+        candidates = self.for_budget(budget)
+        if not candidates:
+            return None
+        return max(candidates, key=lambda s: s.operational_aes).method
+
+    def as_rows(self) -> List[Dict[str, object]]:
+        """Rows suitable for text-table rendering."""
+        return [
+            {
+                "method": s.method,
+                "budget": s.budget,
+                "AEs": round(s.total_aes, 2),
+                "op-AEs": round(s.operational_aes, 2),
+                "op-AEs/100tc": round(s.operational_yield, 3),
+                "naturalness": round(s.mean_naturalness, 3),
+                "op-density": round(s.mean_op_density, 3),
+                "op-mass": round(s.op_weighted_mass, 3),
+                "test-cases": round(s.test_cases_used, 1),
+            }
+            for s in self.scores
+        ]
+
+
+class MethodComparison:
+    """Runs several detection methods at several budgets and scores them."""
+
+    def __init__(
+        self,
+        methods: Sequence[DetectionMethod],
+        criterion: Optional[OperationalAECriterion] = None,
+    ) -> None:
+        if not methods:
+            raise ConfigurationError("MethodComparison requires at least one method")
+        names = [m.name for m in methods]
+        if len(set(names)) != len(names):
+            raise ConfigurationError("detection methods must have unique names")
+        self.methods = list(methods)
+        self.criterion = criterion if criterion is not None else OperationalAECriterion()
+
+    def run(
+        self,
+        model: Classifier,
+        operational_data: Dataset,
+        budgets: Sequence[int],
+        repeats: int = 1,
+        rng: RngLike = None,
+    ) -> ComparisonReport:
+        """Run every method at every budget, averaging over ``repeats`` runs."""
+        if not budgets:
+            raise ConfigurationError("budgets must not be empty")
+        if any(b <= 0 for b in budgets):
+            raise ConfigurationError("budgets must be positive")
+        if repeats <= 0:
+            raise ConfigurationError("repeats must be positive")
+        generator = ensure_rng(rng)
+        report = ComparisonReport(criterion=self.criterion)
+        for budget in budgets:
+            for method in self.methods:
+                repeat_rngs = spawn_rngs(generator, repeats)
+                results = [
+                    method.detect(model, operational_data, budget, rng=r) for r in repeat_rngs
+                ]
+                report.scores.append(self._score(method.name, budget, results))
+        return report
+
+    def _score(
+        self, method: str, budget: int, results: Sequence[DetectionResult]
+    ) -> MethodScore:
+        total = float(np.mean([r.num_detected for r in results]))
+        operational = float(np.mean([self.criterion.count(r) for r in results]))
+        used = float(np.mean([max(r.test_cases_used, 1) for r in results]))
+        return MethodScore(
+            method=method,
+            budget=budget,
+            total_aes=total,
+            operational_aes=operational,
+            operational_yield=100.0 * operational / used,
+            mean_naturalness=float(np.mean([r.mean_naturalness() for r in results])),
+            mean_op_density=float(np.mean([r.mean_op_density() for r in results])),
+            op_weighted_mass=float(np.mean([r.operational_weight() for r in results])),
+            test_cases_used=used,
+            repeats=len(results),
+        )
+
+
+__all__ = [
+    "OperationalAECriterion",
+    "MethodScore",
+    "ComparisonReport",
+    "MethodComparison",
+]

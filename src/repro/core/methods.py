@@ -1,0 +1,306 @@
+"""Detection methods: the proposed operational-AE testing and its baselines.
+
+A *detection method* spends a budget of test cases (model queries) trying to
+find adversarial examples.  The paper's argument is that state-of-the-art
+methods spend that budget without regard to the operational profile, so the
+AEs they find are often irrelevant to delivered reliability.  Four methods are
+implemented behind one interface so they can be compared fairly:
+
+* :class:`OperationalAEDetection` — the proposed method: OP+failure-weighted
+  seed sampling (RQ2) followed by naturalness-guided fuzzing (RQ3).
+* :class:`AttackOnUniformSeeds` — state-of-the-art debug testing: a strong
+  attack (PGD by default) launched from uniformly sampled seeds.
+* :class:`RandomFuzzBaseline` — unguided random fuzzing from uniform seeds.
+* :class:`OperationalTestingBaseline` — classic operational testing: execute
+  inputs drawn from the OP and record natural failures, with no perturbation
+  search at all (the "inefficient at detecting bugs" extreme of Frankl et al.).
+
+Every method annotates the AEs it finds with the seed's OP density and the
+candidate's naturalness so the comparison can score *operational* AEs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from ..attacks.base import Attack
+from ..attacks.gradient import PGD
+from ..attacks.random_search import RandomFuzz
+from ..config import EPSILON, RngLike, ensure_rng
+from ..data.dataset import Dataset
+from ..exceptions import ConfigurationError
+from ..fuzzing.fuzzer import FuzzerConfig, OperationalFuzzer
+from ..naturalness.metrics import NaturalnessScorer
+from ..op.profile import OperationalProfile
+from ..sampling.samplers import OperationalSeedSampler, SeedSampler, UniformSeedSampler
+from ..types import AdversarialExample, Classifier, DetectionResult
+
+
+class DetectionMethod:
+    """Interface of budgeted AE-detection methods."""
+
+    name: str = "method"
+
+    def detect(
+        self,
+        model: Classifier,
+        operational_data: Dataset,
+        budget: int,
+        rng: RngLike = None,
+    ) -> DetectionResult:
+        """Spend at most ``budget`` test cases looking for AEs."""
+        raise NotImplementedError
+
+    @staticmethod
+    def _check_budget(budget: int) -> None:
+        if budget <= 0:
+            raise ConfigurationError(f"budget must be positive, got {budget}")
+
+
+def _normalised_density(
+    profile: Optional[OperationalProfile], x: np.ndarray, reference: np.ndarray
+) -> np.ndarray:
+    """Density of ``x`` scaled so the mean density over ``reference`` is one."""
+    if profile is None:
+        return np.ones(len(x))
+    reference_density = profile.density(reference)
+    scale = max(float(reference_density.mean()), EPSILON)
+    return profile.density(x) / scale
+
+
+@dataclass
+class OperationalAEDetection(DetectionMethod):
+    """The proposed method: OP-weighted seeds + naturalness-guided fuzzing.
+
+    Parameters
+    ----------
+    profile:
+        Operational profile (used for seed weights, fuzz energies and AE
+        annotation).
+    naturalness:
+        Fitted naturalness scorer shared with the fuzzer.
+    fuzzer_config:
+        Fuzzer hyper-parameters; ``queries_per_seed`` determines how many
+        seeds a budget buys.
+    sampler:
+        Seed sampler; defaults to :class:`OperationalSeedSampler` with margin
+        weights.
+    """
+
+    profile: OperationalProfile
+    naturalness: NaturalnessScorer
+    fuzzer_config: Optional[FuzzerConfig] = None
+    sampler: Optional[SeedSampler] = None
+    name: str = "operational-ae-detection"
+
+    def detect(
+        self,
+        model: Classifier,
+        operational_data: Dataset,
+        budget: int,
+        rng: RngLike = None,
+    ) -> DetectionResult:
+        self._check_budget(budget)
+        generator = ensure_rng(rng)
+        config = self.fuzzer_config if self.fuzzer_config is not None else FuzzerConfig()
+        sampler = (
+            self.sampler
+            if self.sampler is not None
+            else OperationalSeedSampler(profile=self.profile)
+        )
+        fuzzer = OperationalFuzzer(
+            naturalness=self.naturalness,
+            config=config,
+            natural_pool=operational_data.x,
+        )
+
+        adversarial: List[AdversarialExample] = []
+        used = 0
+        seeds_attacked = 0
+        # keep sampling fresh seed batches until the test-case budget is spent
+        while used < budget:
+            remaining = budget - used
+            num_seeds = max(1, remaining // config.queries_per_seed)
+            num_seeds = min(num_seeds, len(operational_data))
+            selection = sampler.select(operational_data, model, num_seeds, rng=generator)
+            densities = _normalised_density(self.profile, selection.x, operational_data.x)
+            campaign = fuzzer.fuzz(
+                model,
+                selection.x,
+                selection.y,
+                op_densities=densities,
+                budget=remaining,
+                rng=generator,
+            )
+            adversarial.extend(campaign.adversarial_examples)
+            used += campaign.total_queries
+            seeds_attacked += len(campaign.per_seed)
+            if campaign.total_queries == 0:
+                break
+        return DetectionResult(
+            method=self.name,
+            adversarial_examples=adversarial,
+            test_cases_used=used,
+            budget=budget,
+            seeds_attacked=seeds_attacked,
+        )
+
+
+@dataclass
+class AttackOnUniformSeeds(DetectionMethod):
+    """State-of-the-art baseline: a strong attack from uniformly chosen seeds.
+
+    The attack is OP-ignorant by construction: seeds are drawn uniformly from
+    ``seed_pool`` (typically the balanced train/test data the developers
+    already have) rather than from the operational dataset.  The profile and
+    scorer are used only *post hoc* to annotate what the attack found, so the
+    comparison can ask how operationally relevant those AEs are.
+    """
+
+    attack: Optional[Attack] = None
+    profile: Optional[OperationalProfile] = None
+    naturalness: Optional[NaturalnessScorer] = None
+    seed_pool: Optional[Dataset] = None
+    queries_per_seed_estimate: int = 21
+    name: str = "pgd-uniform-seeds"
+
+    def detect(
+        self,
+        model: Classifier,
+        operational_data: Dataset,
+        budget: int,
+        rng: RngLike = None,
+    ) -> DetectionResult:
+        self._check_budget(budget)
+        generator = ensure_rng(rng)
+        attack = self.attack if self.attack is not None else PGD(epsilon=0.1, num_steps=10)
+        pool = self.seed_pool if self.seed_pool is not None else operational_data
+
+        adversarial: List[AdversarialExample] = []
+        used = 0
+        seeds_attacked = 0
+        while used < budget:
+            remaining = budget - used
+            num_seeds = max(1, remaining // max(self.queries_per_seed_estimate, 1))
+            num_seeds = min(num_seeds, len(pool))
+            selection = UniformSeedSampler().select(pool, model, num_seeds, rng=generator)
+            result = attack.run(model, selection.x, selection.y, rng=generator)
+            densities = _normalised_density(self.profile, selection.x, operational_data.x)
+            for i in np.flatnonzero(result.success):
+                perturbed = result.adversarial_x[i]
+                naturalness = (
+                    float(self.naturalness.score(perturbed[None, :])[0])
+                    if self.naturalness is not None
+                    else None
+                )
+                adversarial.append(
+                    AdversarialExample(
+                        seed=selection.x[i].copy(),
+                        perturbed=perturbed.copy(),
+                        true_label=int(selection.y[i]),
+                        predicted_label=int(result.predicted_labels[i]),
+                        distance=float(np.max(np.abs(perturbed - selection.x[i]))),
+                        naturalness=naturalness,
+                        op_density=float(densities[i]),
+                        method=self.name,
+                        queries=int(result.queries_per_seed[i]),
+                    )
+                )
+            used += result.queries
+            seeds_attacked += len(selection)
+            if result.queries == 0:
+                break
+        return DetectionResult(
+            method=self.name,
+            adversarial_examples=adversarial,
+            test_cases_used=used,
+            budget=budget,
+            seeds_attacked=seeds_attacked,
+        )
+
+
+@dataclass
+class RandomFuzzBaseline(AttackOnUniformSeeds):
+    """Unguided random fuzzing from uniform seeds (black-box baseline)."""
+
+    name: str = "random-fuzz-uniform-seeds"
+
+    def detect(
+        self,
+        model: Classifier,
+        operational_data: Dataset,
+        budget: int,
+        rng: RngLike = None,
+    ) -> DetectionResult:
+        if self.attack is None:
+            self.attack = RandomFuzz(epsilon=0.1, num_trials=20)
+            self.queries_per_seed_estimate = 21
+        return super().detect(model, operational_data, budget, rng)
+
+
+@dataclass
+class OperationalTestingBaseline(DetectionMethod):
+    """Pure operational testing: draw OP inputs, record natural failures.
+
+    No perturbation search is performed — every test case is an input the
+    model would actually receive.  Failures found this way are maximally
+    operational but the method is known to be a very inefficient bug detector,
+    which is the other side of the trade-off the paper wants to optimise.
+    """
+
+    profile: OperationalProfile
+    naturalness: Optional[NaturalnessScorer] = None
+    name: str = "operational-testing"
+
+    def detect(
+        self,
+        model: Classifier,
+        operational_data: Dataset,
+        budget: int,
+        rng: RngLike = None,
+    ) -> DetectionResult:
+        self._check_budget(budget)
+        generator = ensure_rng(rng)
+        size = min(budget, len(operational_data))
+        selection = UniformSeedSampler().select(operational_data, model, size, rng=generator)
+        predictions = model.predict(selection.x)
+        densities = _normalised_density(self.profile, selection.x, operational_data.x)
+        adversarial: List[AdversarialExample] = []
+        for i in np.flatnonzero(predictions != selection.y):
+            naturalness = (
+                float(self.naturalness.score(selection.x[i][None, :])[0])
+                if self.naturalness is not None
+                else None
+            )
+            adversarial.append(
+                AdversarialExample(
+                    seed=selection.x[i].copy(),
+                    perturbed=selection.x[i].copy(),
+                    true_label=int(selection.y[i]),
+                    predicted_label=int(predictions[i]),
+                    distance=0.0,
+                    naturalness=naturalness,
+                    op_density=float(densities[i]),
+                    method=self.name,
+                    queries=1,
+                )
+            )
+        return DetectionResult(
+            method=self.name,
+            adversarial_examples=adversarial,
+            test_cases_used=size,
+            budget=budget,
+            seeds_attacked=size,
+        )
+
+
+__all__ = [
+    "DetectionMethod",
+    "OperationalAEDetection",
+    "AttackOnUniformSeeds",
+    "RandomFuzzBaseline",
+    "OperationalTestingBaseline",
+]

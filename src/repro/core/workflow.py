@@ -1,0 +1,236 @@
+"""The five-step operational testing loop of Figure 1.
+
+Given a DL model and its application, one iteration of the loop performs:
+
+1. **Learn the OP / synthesise the operational dataset** (RQ1) — either the
+   caller supplies an operational dataset directly, or a profile plus
+   synthesizer generate one.
+2. **Sample seeds** from the operational dataset with weights combining OP
+   density and failure likelihood (RQ2).
+3. **Fuzz** around every seed under naturalness constraints to detect
+   operational AEs (RQ3).
+4. **Retrain** the model on the detected AEs with OP-aware weights (RQ4).
+5. **Assess delivered reliability** of the retrained model (RQ5); the result
+   drives the stopping rule and prioritises weak cells for the next loop.
+
+Steps 2–5 repeat until the reliability target is met or the budget/iteration
+caps are reached.  :class:`OperationalTestingLoop` wires the subsystem
+packages together; every component can be swapped for an ablated or baseline
+variant.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..config import RngLike, ensure_rng
+from ..data.dataset import Dataset
+from ..data.partition import Partition, build_partition_for_dataset
+from ..exceptions import ConfigurationError
+from ..fuzzing.fuzzer import FuzzerConfig, OperationalFuzzer
+from ..naturalness.metrics import NaturalnessScorer, default_naturalness_scorer
+from ..nn.network import Sequential
+from ..op.profile import OperationalProfile
+from ..op.synthesis import OperationalDatasetSynthesizer
+from ..reliability.assessment import ReliabilityAssessor, ReliabilityEstimate, StoppingRule
+from ..retraining.adversarial_training import OperationalRetrainer, RetrainingConfig
+from ..sampling.samplers import OperationalSeedSampler, SeedSampler
+from ..types import AdversarialExample, CampaignReport, IterationReport
+
+
+@dataclass
+class WorkflowConfig:
+    """Configuration of the operational testing loop.
+
+    Attributes
+    ----------
+    test_budget_per_iteration:
+        Model queries the fuzzer may spend per loop iteration.
+    seeds_per_iteration:
+        Seeds sampled per iteration (capped by the operational dataset size).
+    operational_dataset_size:
+        Size of the operational dataset synthesised when none is supplied.
+    reassess_with_monte_carlo:
+        Also record a direct Monte Carlo operational accuracy estimate in the
+        iteration notes (slower but an independent cross-check).
+    """
+
+    test_budget_per_iteration: int = 600
+    seeds_per_iteration: int = 20
+    operational_dataset_size: int = 500
+    reassess_with_monte_carlo: bool = False
+
+    def __post_init__(self) -> None:
+        if self.test_budget_per_iteration <= 0:
+            raise ConfigurationError("test_budget_per_iteration must be positive")
+        if self.seeds_per_iteration <= 0:
+            raise ConfigurationError("seeds_per_iteration must be positive")
+        if self.operational_dataset_size <= 0:
+            raise ConfigurationError("operational_dataset_size must be positive")
+
+
+class OperationalTestingLoop:
+    """End-to-end implementation of the paper's proposed testing method."""
+
+    def __init__(
+        self,
+        profile: OperationalProfile,
+        train_data: Dataset,
+        partition: Optional[Partition] = None,
+        naturalness: Optional[NaturalnessScorer] = None,
+        sampler: Optional[SeedSampler] = None,
+        fuzzer_config: Optional[FuzzerConfig] = None,
+        retraining_config: Optional[RetrainingConfig] = None,
+        stopping_rule: Optional[StoppingRule] = None,
+        workflow_config: Optional[WorkflowConfig] = None,
+        assessor: Optional[ReliabilityAssessor] = None,
+        rng: RngLike = None,
+    ) -> None:
+        self.profile = profile
+        self.train_data = train_data
+        self.config = workflow_config if workflow_config is not None else WorkflowConfig()
+        self.stopping_rule = stopping_rule if stopping_rule is not None else StoppingRule()
+        self.fuzzer_config = fuzzer_config if fuzzer_config is not None else FuzzerConfig()
+        self._rng = ensure_rng(rng)
+
+        self.partition = (
+            partition
+            if partition is not None
+            else build_partition_for_dataset(train_data.x, rng=self._rng)
+        )
+        self.naturalness = (
+            naturalness
+            if naturalness is not None
+            else default_naturalness_scorer(train_data.x, profile=profile, rng=self._rng)
+        )
+        self.sampler = (
+            sampler if sampler is not None else OperationalSeedSampler(profile=profile)
+        )
+        self.retrainer = OperationalRetrainer(
+            config=retraining_config, profile=profile, rng=self._rng
+        )
+        self.assessor = (
+            assessor
+            if assessor is not None
+            else ReliabilityAssessor(
+                partition=self.partition,
+                profile=profile,
+                confidence=self.stopping_rule.confidence,
+                rng=self._rng,
+            )
+        )
+        self.synthesizer = OperationalDatasetSynthesizer(
+            profile=profile, reference=train_data
+        )
+        self.detected_aes: List[AdversarialExample] = []
+
+    # ------------------------------------------------------------------ #
+    # the loop
+    # ------------------------------------------------------------------ #
+    def run(
+        self,
+        model: Sequential,
+        operational_data: Optional[Dataset] = None,
+        in_place: bool = False,
+    ) -> Tuple[Sequential, CampaignReport]:
+        """Run the loop until the stopping rule fires.
+
+        Parameters
+        ----------
+        model:
+            Model under test.  A deep copy is improved and returned unless
+            ``in_place`` is set.
+        operational_data:
+            Pre-built operational dataset (step 1 output); synthesised from
+            the profile when omitted.
+        """
+        current = model if in_place else copy.deepcopy(model)
+        report = CampaignReport()
+        if operational_data is None:
+            operational_data = self.synthesizer.synthesize(
+                self.config.operational_dataset_size, rng=self._rng
+            )
+
+        estimate_before = self.assessor.assess(current, operational_data, rng=self._rng)
+        total_test_cases = 0
+
+        for iteration in range(self.stopping_rule.max_iterations):
+            iteration_report, current, estimate_after = self._run_iteration(
+                iteration, current, operational_data, estimate_before
+            )
+            total_test_cases += iteration_report.test_cases_used
+            report.append(iteration_report)
+            if self.stopping_rule.should_stop(estimate_after, iteration, total_test_cases):
+                break
+            estimate_before = estimate_after
+        return current, report
+
+    def _run_iteration(
+        self,
+        iteration: int,
+        model: Sequential,
+        operational_data: Dataset,
+        estimate_before: ReliabilityEstimate,
+    ) -> Tuple[IterationReport, Sequential, ReliabilityEstimate]:
+        # ---- step 2: seed sampling -------------------------------------- #
+        num_seeds = min(self.config.seeds_per_iteration, len(operational_data))
+        selection = self.sampler.select(operational_data, model, num_seeds, rng=self._rng)
+
+        # ---- step 3: naturalness-guided fuzzing -------------------------- #
+        fuzzer = OperationalFuzzer(
+            naturalness=self.naturalness,
+            config=self.fuzzer_config,
+            natural_pool=operational_data.x,
+        )
+        densities = self.profile.density(selection.x)
+        mean_density = max(float(self.profile.density(operational_data.x).mean()), 1e-12)
+        campaign = fuzzer.fuzz(
+            model,
+            selection.x,
+            selection.y,
+            op_densities=densities / mean_density,
+            budget=self.config.test_budget_per_iteration,
+            rng=self._rng,
+        )
+        new_aes = campaign.adversarial_examples
+        self.detected_aes.extend(new_aes)
+
+        # ---- step 4: OP-aware retraining --------------------------------- #
+        if new_aes:
+            model = self.retrainer.retrain(model, self.train_data, self.detected_aes)
+
+        # ---- step 5: reliability assessment ------------------------------ #
+        estimate_after = self.assessor.assess(model, operational_data, rng=self._rng)
+        notes = {
+            "pmi_upper_before": estimate_before.pmi_upper,
+            "pmi_upper_after": estimate_after.pmi_upper,
+            "queries_reliability_assessment": float(estimate_after.queries),
+        }
+        if self.config.reassess_with_monte_carlo:
+            notes["mc_operational_accuracy"] = self.assessor.operational_accuracy_monte_carlo(
+                model, operational_data, rng=self._rng
+            )
+
+        iteration_report = IterationReport(
+            iteration=iteration,
+            seeds_selected=len(selection),
+            test_cases_used=campaign.total_queries,
+            aes_detected=len(new_aes),
+            pmi_before=estimate_before.pmi,
+            pmi_after=estimate_after.pmi,
+            operational_accuracy_before=estimate_before.operational_accuracy,
+            operational_accuracy_after=estimate_after.operational_accuracy,
+            reliability_target=self.stopping_rule.target_pmi,
+            target_met=estimate_after.meets_target(
+                self.stopping_rule.target_pmi, conservative=self.stopping_rule.conservative
+            ),
+            notes=notes,
+        )
+        return iteration_report, model, estimate_after
+
+
+__all__ = ["WorkflowConfig", "OperationalTestingLoop"]

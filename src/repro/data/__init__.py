@@ -1,0 +1,60 @@
+"""Datasets, transforms and input-space partitioning.
+
+This package provides the data substrate for the operational testing
+pipeline: synthetic datasets with known ground-truth structure (so the
+operational profile can be controlled exactly), data-augmentation operators
+(used for OP learning in RQ1 and by the fuzzer's mutations), and cell
+partitions of the input space (used by the ReAsDL-style reliability model).
+"""
+
+from .dataset import Dataset
+from .partition import (
+    AnchorPartition,
+    GridPartition,
+    Partition,
+    build_partition_for_dataset,
+)
+from .synthetic import (
+    available_datasets,
+    make_concentric_rings,
+    make_dataset,
+    make_gaussian_clusters,
+    make_glyph_digits,
+    make_shape_scenes,
+    make_two_moons,
+)
+from .transforms import (
+    Augmenter,
+    Transform,
+    brightness_shift,
+    contrast_scale,
+    default_augmenter,
+    feature_dropout,
+    gaussian_noise,
+    image_translate,
+    uniform_noise,
+)
+
+__all__ = [
+    "Dataset",
+    "AnchorPartition",
+    "GridPartition",
+    "Partition",
+    "build_partition_for_dataset",
+    "available_datasets",
+    "make_concentric_rings",
+    "make_dataset",
+    "make_gaussian_clusters",
+    "make_glyph_digits",
+    "make_shape_scenes",
+    "make_two_moons",
+    "Augmenter",
+    "Transform",
+    "brightness_shift",
+    "contrast_scale",
+    "default_augmenter",
+    "feature_dropout",
+    "gaussian_noise",
+    "image_translate",
+    "uniform_noise",
+]

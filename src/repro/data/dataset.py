@@ -1,0 +1,217 @@
+"""Dataset container with splitting, batching and class statistics.
+
+All datasets in the library live in the canonical input domain ``[0, 1]^d``
+with inputs flattened to one feature axis and integer class labels.  The
+container is intentionally small: it is a :class:`repro.types.LabeledBatch`
+plus metadata (class names, image shape) and convenience operations used by
+the operational-profile and testing machinery.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..config import RngLike, ensure_rng
+from ..exceptions import DataError
+from ..types import LabeledBatch
+
+
+@dataclass
+class Dataset:
+    """A labelled dataset in the canonical ``[0, 1]^d`` input domain.
+
+    Attributes
+    ----------
+    x:
+        Inputs, shape ``(n, d)``.
+    y:
+        Integer labels, shape ``(n,)``.
+    num_classes:
+        Total number of classes (may exceed the number present in ``y``).
+    class_names:
+        Optional human-readable class names, length ``num_classes``.
+    image_shape:
+        Optional ``(channels, height, width)`` if the rows are flattened
+        images; ``None`` for tabular data.
+    name:
+        Dataset identifier used in reports.
+    """
+
+    x: np.ndarray
+    y: np.ndarray
+    num_classes: int
+    class_names: Optional[List[str]] = None
+    image_shape: Optional[Tuple[int, int, int]] = None
+    name: str = "dataset"
+
+    def __post_init__(self) -> None:
+        self.x = np.asarray(self.x, dtype=float)
+        self.y = np.asarray(self.y, dtype=int)
+        if self.x.ndim != 2:
+            raise DataError(f"x must be 2-D, got shape {self.x.shape}")
+        if self.y.ndim != 1 or len(self.y) != len(self.x):
+            raise DataError("y must be 1-D and aligned with x")
+        if self.num_classes < 2:
+            raise DataError(f"num_classes must be >= 2, got {self.num_classes}")
+        if len(self.y) and (self.y.min() < 0 or self.y.max() >= self.num_classes):
+            raise DataError("labels out of range for num_classes")
+        if self.class_names is not None and len(self.class_names) != self.num_classes:
+            raise DataError("class_names must have one entry per class")
+        if self.image_shape is not None:
+            expected = int(np.prod(self.image_shape))
+            if expected != self.x.shape[1]:
+                raise DataError(
+                    f"image_shape {self.image_shape} does not match feature count {self.x.shape[1]}"
+                )
+
+    # ------------------------------------------------------------------ #
+    # basic accessors
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return len(self.x)
+
+    @property
+    def num_features(self) -> int:
+        return self.x.shape[1]
+
+    def as_batch(self) -> LabeledBatch:
+        """View the dataset as a plain :class:`LabeledBatch`."""
+        return LabeledBatch(self.x, self.y)
+
+    def class_counts(self) -> np.ndarray:
+        """Number of samples per class, length ``num_classes``."""
+        return np.bincount(self.y, minlength=self.num_classes)
+
+    def class_frequencies(self) -> np.ndarray:
+        """Empirical class distribution (sums to one; uniform if empty)."""
+        counts = self.class_counts().astype(float)
+        total = counts.sum()
+        if total == 0:
+            return np.full(self.num_classes, 1.0 / self.num_classes)
+        return counts / total
+
+    def indices_of_class(self, label: int) -> np.ndarray:
+        """Row indices of all samples with the given class label."""
+        if not 0 <= label < self.num_classes:
+            raise DataError(f"label {label} out of range [0, {self.num_classes})")
+        return np.flatnonzero(self.y == label)
+
+    # ------------------------------------------------------------------ #
+    # transformations
+    # ------------------------------------------------------------------ #
+    def subset(self, indices: Sequence[int], name: Optional[str] = None) -> "Dataset":
+        """Return a new dataset containing only the rows in ``indices``."""
+        idx = np.asarray(indices, dtype=int)
+        return Dataset(
+            self.x[idx],
+            self.y[idx],
+            self.num_classes,
+            class_names=self.class_names,
+            image_shape=self.image_shape,
+            name=name or self.name,
+        )
+
+    def shuffled(self, rng: RngLike = None) -> "Dataset":
+        """Return a copy with rows in a random order."""
+        generator = ensure_rng(rng)
+        order = generator.permutation(len(self))
+        return self.subset(order)
+
+    def split(
+        self, test_fraction: float = 0.25, rng: RngLike = None, stratify: bool = True
+    ) -> Tuple["Dataset", "Dataset"]:
+        """Split into (train, test) datasets.
+
+        Parameters
+        ----------
+        test_fraction:
+            Fraction of rows assigned to the test split.
+        rng:
+            Seed or generator controlling the split.
+        stratify:
+            Preserve per-class proportions in both splits when possible.
+        """
+        if not 0.0 < test_fraction < 1.0:
+            raise DataError(f"test_fraction must be in (0, 1), got {test_fraction}")
+        generator = ensure_rng(rng)
+        n = len(self)
+        if n < 2:
+            raise DataError("need at least two samples to split")
+        test_indices: List[int] = []
+        if stratify:
+            for label in range(self.num_classes):
+                members = self.indices_of_class(label)
+                if len(members) == 0:
+                    continue
+                members = generator.permutation(members)
+                count = int(round(len(members) * test_fraction))
+                count = min(max(count, 1 if len(members) > 1 else 0), len(members) - 1)
+                test_indices.extend(members[:count].tolist())
+        else:
+            order = generator.permutation(n)
+            count = max(1, int(round(n * test_fraction)))
+            test_indices = order[:count].tolist()
+        test_mask = np.zeros(n, dtype=bool)
+        test_mask[np.asarray(test_indices, dtype=int)] = True
+        train = self.subset(np.flatnonzero(~test_mask), name=f"{self.name}-train")
+        test = self.subset(np.flatnonzero(test_mask), name=f"{self.name}-test")
+        if len(train) == 0 or len(test) == 0:
+            raise DataError("split produced an empty partition; adjust test_fraction")
+        return train, test
+
+    def sample(self, size: int, rng: RngLike = None, replace: bool = False) -> "Dataset":
+        """Return ``size`` rows sampled uniformly at random."""
+        if size <= 0:
+            raise DataError(f"sample size must be positive, got {size}")
+        if not replace and size > len(self):
+            raise DataError(
+                f"cannot sample {size} rows without replacement from {len(self)}"
+            )
+        generator = ensure_rng(rng)
+        idx = generator.choice(len(self), size=size, replace=replace)
+        return self.subset(idx, name=f"{self.name}-sample")
+
+    def concat(self, other: "Dataset", name: Optional[str] = None) -> "Dataset":
+        """Concatenate two datasets over the same input space."""
+        if other.num_features != self.num_features:
+            raise DataError("datasets disagree on feature count")
+        if other.num_classes != self.num_classes:
+            raise DataError("datasets disagree on num_classes")
+        return Dataset(
+            np.concatenate([self.x, other.x], axis=0),
+            np.concatenate([self.y, other.y], axis=0),
+            self.num_classes,
+            class_names=self.class_names,
+            image_shape=self.image_shape,
+            name=name or self.name,
+        )
+
+    def batches(
+        self, batch_size: int, rng: RngLike = None, shuffle: bool = True
+    ):
+        """Yield :class:`LabeledBatch` mini-batches covering the dataset once."""
+        if batch_size <= 0:
+            raise DataError(f"batch_size must be positive, got {batch_size}")
+        order = np.arange(len(self))
+        if shuffle:
+            order = ensure_rng(rng).permutation(order)
+        for start in range(0, len(self), batch_size):
+            idx = order[start : start + batch_size]
+            yield LabeledBatch(self.x[idx], self.y[idx])
+
+    def summary(self) -> Dict[str, float]:
+        """Return simple descriptive statistics used in reports."""
+        freqs = self.class_frequencies()
+        return {
+            "size": float(len(self)),
+            "num_features": float(self.num_features),
+            "num_classes": float(self.num_classes),
+            "min_class_frequency": float(freqs.min()) if len(self) else 0.0,
+            "max_class_frequency": float(freqs.max()) if len(self) else 0.0,
+        }
+
+
+__all__ = ["Dataset"]

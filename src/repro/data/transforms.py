@@ -1,0 +1,192 @@
+"""Input transforms and data-augmentation operators.
+
+Augmentation plays two roles in the paper: (i) RQ1 mentions data augmentation
+as a way to speed up learning and validating the operational profile, and
+(ii) the operational fuzzer's mutation operators reuse the same primitive
+perturbations.  All transforms operate on flattened rows in ``[0, 1]^d`` and
+keep outputs inside that domain.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..config import RngLike, clip01, ensure_rng
+from ..exceptions import ConfigurationError, ShapeError
+from .dataset import Dataset
+
+Transform = Callable[[np.ndarray, np.random.Generator], np.ndarray]
+
+
+def gaussian_noise(std: float = 0.05) -> Transform:
+    """Additive Gaussian pixel/feature noise with standard deviation ``std``."""
+    if std < 0:
+        raise ConfigurationError("std must be non-negative")
+
+    def apply(x: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        return clip01(x + rng.normal(0.0, std, size=x.shape))
+
+    return apply
+
+
+def uniform_noise(magnitude: float = 0.05) -> Transform:
+    """Additive uniform noise in ``[-magnitude, magnitude]``."""
+    if magnitude < 0:
+        raise ConfigurationError("magnitude must be non-negative")
+
+    def apply(x: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        return clip01(x + rng.uniform(-magnitude, magnitude, size=x.shape))
+
+    return apply
+
+
+def feature_dropout(rate: float = 0.05) -> Transform:
+    """Zero out a random fraction of features (occlusion-style corruption)."""
+    if not 0.0 <= rate < 1.0:
+        raise ConfigurationError("rate must be in [0, 1)")
+
+    def apply(x: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        mask = rng.random(x.shape) >= rate
+        return x * mask
+
+    return apply
+
+
+def brightness_shift(max_shift: float = 0.15) -> Transform:
+    """Add a constant offset drawn from ``[-max_shift, max_shift]`` to all features."""
+    if max_shift < 0:
+        raise ConfigurationError("max_shift must be non-negative")
+
+    def apply(x: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        shifts = rng.uniform(-max_shift, max_shift, size=(x.shape[0], 1))
+        return clip01(x + shifts)
+
+    return apply
+
+
+def contrast_scale(min_scale: float = 0.8, max_scale: float = 1.2) -> Transform:
+    """Scale features around 0.5 by a random per-sample factor."""
+    if not 0 < min_scale <= max_scale:
+        raise ConfigurationError("need 0 < min_scale <= max_scale")
+
+    def apply(x: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        scales = rng.uniform(min_scale, max_scale, size=(x.shape[0], 1))
+        return clip01((x - 0.5) * scales + 0.5)
+
+    return apply
+
+
+def image_translate(
+    image_shape: Tuple[int, int, int], max_pixels: int = 1
+) -> Transform:
+    """Translate flattened images by up to ``max_pixels`` in each direction."""
+    if max_pixels < 0:
+        raise ConfigurationError("max_pixels must be non-negative")
+    channels, height, width = image_shape
+
+    def apply(x: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        if x.shape[1] != channels * height * width:
+            raise ShapeError("input rows do not match the configured image shape")
+        out = np.empty_like(x)
+        for i, row in enumerate(x):
+            image = row.reshape(channels, height, width)
+            dy = int(rng.integers(-max_pixels, max_pixels + 1))
+            dx = int(rng.integers(-max_pixels, max_pixels + 1))
+            shifted = np.zeros_like(image)
+            src_y = slice(max(0, -dy), height - max(0, dy))
+            dst_y = slice(max(0, dy), height - max(0, -dy))
+            src_x = slice(max(0, -dx), width - max(0, dx))
+            dst_x = slice(max(0, dx), width - max(0, -dx))
+            shifted[:, dst_y, dst_x] = image[:, src_y, src_x]
+            out[i] = shifted.ravel()
+        return out
+
+    return apply
+
+
+class Augmenter:
+    """Apply a pipeline of transforms to expand a dataset.
+
+    Parameters
+    ----------
+    transforms:
+        Transforms applied in order to each augmented copy.
+    copies:
+        Number of augmented copies generated per original sample.
+    include_original:
+        Whether the original samples are kept in the output dataset.
+    """
+
+    def __init__(
+        self,
+        transforms: Sequence[Transform],
+        copies: int = 1,
+        include_original: bool = True,
+        rng: RngLike = None,
+    ) -> None:
+        if not transforms:
+            raise ConfigurationError("Augmenter requires at least one transform")
+        if copies <= 0:
+            raise ConfigurationError("copies must be positive")
+        self.transforms: List[Transform] = list(transforms)
+        self.copies = copies
+        self.include_original = include_original
+        self._rng = ensure_rng(rng)
+
+    def apply_to_array(self, x: np.ndarray) -> np.ndarray:
+        """Apply the transform pipeline once to every row of ``x``."""
+        out = np.asarray(x, dtype=float)
+        for transform in self.transforms:
+            out = transform(out, self._rng)
+        return out
+
+    def augment(self, dataset: Dataset) -> Dataset:
+        """Return an augmented dataset (original + ``copies`` transformed copies)."""
+        parts_x = [dataset.x] if self.include_original else []
+        parts_y = [dataset.y] if self.include_original else []
+        for _ in range(self.copies):
+            parts_x.append(self.apply_to_array(dataset.x))
+            parts_y.append(dataset.y.copy())
+        return Dataset(
+            np.concatenate(parts_x, axis=0),
+            np.concatenate(parts_y, axis=0),
+            dataset.num_classes,
+            class_names=dataset.class_names,
+            image_shape=dataset.image_shape,
+            name=f"{dataset.name}-augmented",
+        )
+
+
+def default_augmenter(
+    image_shape: Optional[Tuple[int, int, int]] = None,
+    copies: int = 1,
+    rng: RngLike = None,
+) -> Augmenter:
+    """Build a reasonable default augmentation pipeline.
+
+    Image datasets get translation + noise + brightness; tabular datasets get
+    noise only.
+    """
+    transforms: List[Transform] = [gaussian_noise(0.03)]
+    if image_shape is not None:
+        transforms = [
+            image_translate(image_shape, max_pixels=1),
+            brightness_shift(0.1),
+            gaussian_noise(0.03),
+        ]
+    return Augmenter(transforms, copies=copies, rng=rng)
+
+
+__all__ = [
+    "Transform",
+    "gaussian_noise",
+    "uniform_noise",
+    "feature_dropout",
+    "brightness_shift",
+    "contrast_scale",
+    "image_translate",
+    "Augmenter",
+    "default_augmenter",
+]

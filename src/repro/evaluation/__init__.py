@@ -1,0 +1,23 @@
+"""Experiment scenarios and plain-text reporting used by examples and benchmarks."""
+
+from .reporting import campaign_to_rows, format_table, summarize_series
+from .scenarios import (
+    Scenario,
+    available_scenarios,
+    make_clusters_scenario,
+    make_glyph_scenario,
+    make_moons_scenario,
+    make_scenario,
+)
+
+__all__ = [
+    "campaign_to_rows",
+    "format_table",
+    "summarize_series",
+    "Scenario",
+    "available_scenarios",
+    "make_clusters_scenario",
+    "make_glyph_scenario",
+    "make_moons_scenario",
+    "make_scenario",
+]

@@ -1,0 +1,77 @@
+"""Plain-text reporting helpers for experiments and benchmarks.
+
+The benchmarks print the same kind of rows/series a paper evaluation section
+would tabulate; these helpers keep that formatting in one place and free of
+any plotting dependencies.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Sequence
+
+from ..exceptions import ConfigurationError
+from ..types import CampaignReport
+
+
+def format_table(rows: Sequence[Mapping[str, object]], title: str = "") -> str:
+    """Render a list of dict rows as an aligned ASCII table."""
+    if not rows:
+        return f"{title}\n(no rows)" if title else "(no rows)"
+    columns: List[str] = []
+    for row in rows:
+        for key in row:
+            if key not in columns:
+                columns.append(key)
+    widths = {c: len(str(c)) for c in columns}
+    for row in rows:
+        for column in columns:
+            widths[column] = max(widths[column], len(_fmt(row.get(column, ""))))
+    lines = []
+    if title:
+        lines.append(title)
+    header = " | ".join(str(c).ljust(widths[c]) for c in columns)
+    lines.append(header)
+    lines.append("-+-".join("-" * widths[c] for c in columns))
+    for row in rows:
+        lines.append(
+            " | ".join(_fmt(row.get(c, "")).ljust(widths[c]) for c in columns)
+        )
+    return "\n".join(lines)
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)
+
+
+def campaign_to_rows(report: CampaignReport) -> List[Dict[str, object]]:
+    """Flatten a workflow campaign report into printable rows (one per iteration)."""
+    rows: List[Dict[str, object]] = []
+    for iteration in report.iterations:
+        rows.append(
+            {
+                "iter": iteration.iteration,
+                "seeds": iteration.seeds_selected,
+                "test-cases": iteration.test_cases_used,
+                "AEs": iteration.aes_detected,
+                "pmi-before": round(iteration.pmi_before, 4),
+                "pmi-after": round(iteration.pmi_after, 4),
+                "op-acc-after": round(iteration.operational_accuracy_after, 4),
+                "target-met": iteration.target_met,
+            }
+        )
+    return rows
+
+
+def summarize_series(name: str, xs: Sequence[float], ys: Sequence[float]) -> str:
+    """Render an (x, y) series as a compact one-line-per-point listing."""
+    if len(xs) != len(ys):
+        raise ConfigurationError("series x and y must have the same length")
+    lines = [name]
+    for x, y in zip(xs, ys):
+        lines.append(f"  {x:>10.4g} -> {y:.4g}")
+    return "\n".join(lines)
+
+
+__all__ = ["format_table", "campaign_to_rows", "summarize_series"]

@@ -1,0 +1,26 @@
+"""Naturalness-guided fuzzing for operational adversarial examples (RQ3)."""
+
+from .fuzzer import FuzzCampaignResult, FuzzerConfig, OperationalFuzzer, SeedFuzzResult
+from .mutations import (
+    GaussianMutation,
+    GradientMutation,
+    InterpolationMutation,
+    MutationContext,
+    MutationOperator,
+    SparseMutation,
+    default_operators,
+)
+
+__all__ = [
+    "FuzzCampaignResult",
+    "FuzzerConfig",
+    "OperationalFuzzer",
+    "SeedFuzzResult",
+    "GaussianMutation",
+    "GradientMutation",
+    "InterpolationMutation",
+    "MutationContext",
+    "MutationOperator",
+    "SparseMutation",
+    "default_operators",
+]

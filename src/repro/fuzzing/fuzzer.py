@@ -1,0 +1,389 @@
+"""Naturalness-guided fuzzing around operational seeds (RQ3).
+
+The fuzzer searches the cell (an L∞ ball) around each seed for *operational
+adversarial examples*: inputs the model misclassifies **and** that remain
+natural enough to plausibly occur in operation.  Existing attacks (PGD et al.)
+optimise only the loss and routinely leave the data manifold; unguided fuzzing
+stays natural but wastes the budget.  The operational fuzzer combines the two
+signals:
+
+* candidates are proposed by a mix of naturalness-preserving mutations and
+  directed gradient steps (:mod:`repro.fuzzing.mutations`);
+* a candidate is *accepted* as an operational AE only if it is misclassified
+  and its naturalness score stays above ``naturalness_threshold`` times the
+  seed's own naturalness (the "constraint on naturalness / local OP");
+* the search is steered by a fitness that mixes the model loss with the
+  naturalness score, so the fuzzer climbs towards the decision boundary while
+  staying on the data manifold;
+* the per-seed energy (query budget) is allocated proportionally to the
+  seed's operational density, so high-OP cells get searched harder.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+from scipy.spatial import cKDTree
+
+from ..config import EPSILON, RngLike, ensure_rng
+from ..exceptions import FuzzingError
+from ..naturalness.metrics import NaturalnessScorer
+from ..types import AdversarialExample, Classifier
+from .mutations import MutationContext, MutationOperator, default_operators
+
+
+@dataclass
+class FuzzerConfig:
+    """Hyper-parameters of the operational fuzzer.
+
+    Attributes
+    ----------
+    epsilon:
+        L∞ radius of the cell searched around each seed.
+    queries_per_seed:
+        Baseline number of model queries spent on each seed (scaled by the
+        seed energy when OP densities are supplied).
+    naturalness_threshold:
+        Minimum acceptable naturalness of an AE, as a fraction of the seed's
+        own naturalness score.  Set to 0 to disable the constraint (ablation).
+    loss_weight, naturalness_weight:
+        Mixing coefficients of the search fitness.  Setting
+        ``naturalness_weight`` to 0 recovers purely loss-guided search.
+    use_gradient:
+        Include the directed gradient mutation operator.
+    gradient_probability:
+        Probability of picking the gradient operator at each mutation step
+        (the remaining probability is split uniformly over the undirected
+        operators).  Ignored when ``use_gradient`` is false.
+    neighbour_count:
+        Natural neighbours (from the calibration pool) made available to the
+        interpolation mutation for each seed.
+    min_energy, max_energy:
+        Bounds of the per-seed energy multiplier derived from OP density.
+    stall_limit:
+        Abandon a seed after this many consecutive evaluated candidates without
+        a fitness improvement (0 disables early abandonment).  Spending the
+        full per-seed budget on seeds whose whole natural neighbourhood is
+        robust is exactly the waste the paper wants to avoid.
+    """
+
+    epsilon: float = 0.1
+    queries_per_seed: int = 20
+    naturalness_threshold: float = 0.5
+    loss_weight: float = 1.0
+    naturalness_weight: float = 0.5
+    use_gradient: bool = True
+    gradient_probability: float = 0.5
+    neighbour_count: int = 5
+    min_energy: float = 0.5
+    max_energy: float = 2.0
+    stall_limit: int = 8
+
+    def __post_init__(self) -> None:
+        if self.epsilon <= 0:
+            raise FuzzingError("epsilon must be positive")
+        if self.queries_per_seed <= 0:
+            raise FuzzingError("queries_per_seed must be positive")
+        if self.naturalness_threshold < 0:
+            raise FuzzingError("naturalness_threshold must be non-negative")
+        if self.loss_weight < 0 or self.naturalness_weight < 0:
+            raise FuzzingError("fitness weights must be non-negative")
+        if self.loss_weight == 0 and self.naturalness_weight == 0:
+            raise FuzzingError("at least one fitness weight must be positive")
+        if not 0.0 <= self.gradient_probability <= 1.0:
+            raise FuzzingError("gradient_probability must be in [0, 1]")
+        if self.stall_limit < 0:
+            raise FuzzingError("stall_limit must be non-negative")
+        if self.neighbour_count < 0:
+            raise FuzzingError("neighbour_count must be non-negative")
+        if not 0 < self.min_energy <= self.max_energy:
+            raise FuzzingError("need 0 < min_energy <= max_energy")
+
+
+@dataclass
+class SeedFuzzResult:
+    """Outcome of fuzzing a single seed."""
+
+    seed_index: int
+    adversarial_example: Optional[AdversarialExample]
+    queries: int
+    best_fitness: float
+    candidates_rejected_by_naturalness: int
+
+
+@dataclass
+class FuzzCampaignResult:
+    """Aggregate outcome of fuzzing a batch of seeds."""
+
+    per_seed: List[SeedFuzzResult] = field(default_factory=list)
+
+    @property
+    def adversarial_examples(self) -> List[AdversarialExample]:
+        return [r.adversarial_example for r in self.per_seed if r.adversarial_example]
+
+    @property
+    def total_queries(self) -> int:
+        return int(sum(r.queries for r in self.per_seed))
+
+    @property
+    def detection_rate(self) -> float:
+        if not self.per_seed:
+            return 0.0
+        return len(self.adversarial_examples) / len(self.per_seed)
+
+
+class OperationalFuzzer:
+    """Naturalness-guided fuzzer detecting operational adversarial examples.
+
+    Parameters
+    ----------
+    naturalness:
+        Fitted naturalness scorer approximating the local OP.
+    config:
+        Fuzzer hyper-parameters.
+    operators:
+        Mutation operators; defaults to the standard mix (noise, sparse,
+        interpolation and — if enabled — gradient).
+    natural_pool:
+        Pool of natural inputs used to find each seed's natural neighbours for
+        the interpolation operator.
+    """
+
+    def __init__(
+        self,
+        naturalness: NaturalnessScorer,
+        config: Optional[FuzzerConfig] = None,
+        operators: Optional[Sequence[MutationOperator]] = None,
+        natural_pool: Optional[np.ndarray] = None,
+    ) -> None:
+        self.config = config if config is not None else FuzzerConfig()
+        self.naturalness = naturalness
+        if operators is None:
+            operators = default_operators(use_gradient=self.config.use_gradient)
+        if not operators:
+            raise FuzzingError("OperationalFuzzer requires at least one mutation operator")
+        self.operators: List[MutationOperator] = list(operators)
+        self._pool = (
+            np.atleast_2d(np.asarray(natural_pool, dtype=float))
+            if natural_pool is not None
+            else None
+        )
+        self._pool_tree = cKDTree(self._pool) if self._pool is not None else None
+
+    # ------------------------------------------------------------------ #
+    # public API
+    # ------------------------------------------------------------------ #
+    def fuzz(
+        self,
+        model: Classifier,
+        seeds: np.ndarray,
+        labels: np.ndarray,
+        op_densities: Optional[np.ndarray] = None,
+        budget: Optional[int] = None,
+        rng: RngLike = None,
+    ) -> FuzzCampaignResult:
+        """Fuzz a batch of seeds and return every operational AE found.
+
+        Parameters
+        ----------
+        model:
+            Model under test.
+        seeds, labels:
+            Operational seeds and their true labels.
+        op_densities:
+            Operational density of each seed; used both to scale the per-seed
+            energy and to annotate detected AEs.  ``None`` means uniform.
+        budget:
+            Optional hard cap on total model queries across the whole batch;
+            fuzzing stops once it is exhausted.
+        rng:
+            Seed or generator.
+        """
+        seeds = np.atleast_2d(np.asarray(seeds, dtype=float))
+        labels = np.atleast_1d(np.asarray(labels, dtype=int))
+        if len(seeds) != len(labels):
+            raise FuzzingError("seeds and labels must align")
+        if len(seeds) == 0:
+            raise FuzzingError("cannot fuzz an empty seed batch")
+        if op_densities is not None:
+            op_densities = np.asarray(op_densities, dtype=float)
+            if op_densities.shape != (len(seeds),):
+                raise FuzzingError("op_densities must have one entry per seed")
+        generator = ensure_rng(rng)
+        energies = self._seed_energies(op_densities, len(seeds))
+
+        result = FuzzCampaignResult()
+        queries_remaining = budget if budget is not None else np.inf
+        for index, (seed, label) in enumerate(zip(seeds, labels)):
+            if queries_remaining <= 0:
+                break
+            seed_budget = int(round(self.config.queries_per_seed * energies[index]))
+            if np.isfinite(queries_remaining):
+                seed_budget = min(seed_budget, int(queries_remaining))
+            seed_budget = max(1, seed_budget)
+            density = float(op_densities[index]) if op_densities is not None else None
+            seed_result = self._fuzz_one(
+                model, seed, int(label), index, seed_budget, density, generator
+            )
+            queries_remaining -= seed_result.queries
+            result.per_seed.append(seed_result)
+        return result
+
+    # ------------------------------------------------------------------ #
+    # internals
+    # ------------------------------------------------------------------ #
+    def _seed_energies(
+        self, op_densities: Optional[np.ndarray], count: int
+    ) -> np.ndarray:
+        if op_densities is None:
+            return np.ones(count)
+        mean_density = max(float(np.mean(op_densities)), EPSILON)
+        energies = op_densities / mean_density
+        return np.clip(energies, self.config.min_energy, self.config.max_energy)
+
+    def _natural_neighbours(self, seed: np.ndarray) -> Optional[np.ndarray]:
+        if self._pool_tree is None or self.config.neighbour_count == 0:
+            return None
+        k = min(self.config.neighbour_count, len(self._pool))
+        _, indices = self._pool_tree.query(seed, k=k)
+        indices = np.atleast_1d(indices)
+        return self._pool[indices]
+
+    def _pick_operator(
+        self,
+        directed: List[MutationOperator],
+        undirected: List[MutationOperator],
+        generator: np.random.Generator,
+    ) -> MutationOperator:
+        """Pick a mutation operator, biasing towards the gradient operator."""
+        if directed and (
+            not undirected or generator.random() < self.config.gradient_probability
+        ):
+            return directed[generator.integers(len(directed))]
+        if undirected:
+            return undirected[generator.integers(len(undirected))]
+        return self.operators[generator.integers(len(self.operators))]
+
+    def _fitness_from_probs(
+        self, probs: np.ndarray, label: int, naturalness: float
+    ) -> float:
+        loss = -np.log(max(float(probs[label]), EPSILON))
+        return (
+            self.config.loss_weight * loss
+            + self.config.naturalness_weight * float(np.log(max(naturalness, EPSILON)))
+        )
+
+    def _fuzz_one(
+        self,
+        model: Classifier,
+        seed: np.ndarray,
+        label: int,
+        seed_index: int,
+        seed_budget: int,
+        op_density: Optional[float],
+        generator: np.random.Generator,
+    ) -> SeedFuzzResult:
+        cfg = self.config
+        seed_naturalness = float(self.naturalness.score(seed[None, :])[0])
+        naturalness_floor = cfg.naturalness_threshold * seed_naturalness
+        neighbours = self._natural_neighbours(seed)
+
+        queries = 0
+        rejected = 0
+        current = seed.copy()
+        current_naturalness = seed_naturalness
+        best_fitness = -np.inf
+        found: Optional[AdversarialExample] = None
+
+        # the seed itself may already be misclassified (a "natural failure")
+        prediction = int(model.predict(seed[None, :])[0])
+        queries += 1
+        if prediction != label:
+            found = AdversarialExample(
+                seed=seed.copy(),
+                perturbed=seed.copy(),
+                true_label=label,
+                predicted_label=prediction,
+                distance=0.0,
+                naturalness=seed_naturalness,
+                op_density=op_density,
+                method="operational-fuzzer",
+                queries=queries,
+            )
+            return SeedFuzzResult(seed_index, found, queries, 0.0, 0)
+
+        directed = [op for op in self.operators if op.queries_model]
+        undirected = [op for op in self.operators if not op.queries_model]
+        stalled = 0
+        proposals = 0
+        max_proposals = 5 * seed_budget  # rejected proposals cost no queries; bound them anyway
+        while queries < seed_budget and proposals < max_proposals:
+            if self.config.stall_limit and stalled >= self.config.stall_limit:
+                break
+            proposals += 1
+            operator = self._pick_operator(directed, undirected, generator)
+            context = MutationContext(
+                seed=seed,
+                current=current,
+                label=label,
+                epsilon=cfg.epsilon,
+                model=model,
+                natural_neighbours=neighbours,
+                rng=generator,
+            )
+            candidate = operator.propose(context)
+            if operator.queries_model:
+                queries += 1
+                if queries >= seed_budget:
+                    break
+            candidate_naturalness = float(self.naturalness.score(candidate[None, :])[0])
+            if cfg.naturalness_threshold > 0 and candidate_naturalness < naturalness_floor:
+                rejected += 1
+                stalled += 1
+                continue
+
+            # a single forward pass yields both the verdict and the fitness
+            probs = model.predict_proba(candidate[None, :])[0]
+            prediction = int(np.argmax(probs))
+            queries += 1
+            if prediction != label:
+                distance = float(np.max(np.abs(candidate - seed)))
+                found = AdversarialExample(
+                    seed=seed.copy(),
+                    perturbed=candidate,
+                    true_label=label,
+                    predicted_label=prediction,
+                    distance=distance,
+                    naturalness=candidate_naturalness,
+                    op_density=op_density,
+                    method="operational-fuzzer",
+                    queries=queries,
+                )
+                break
+
+            fitness = self._fitness_from_probs(probs, label, candidate_naturalness)
+            if fitness > best_fitness:
+                best_fitness = fitness
+                current = candidate
+                current_naturalness = candidate_naturalness
+                stalled = 0
+            else:
+                stalled += 1
+
+        return SeedFuzzResult(
+            seed_index=seed_index,
+            adversarial_example=found,
+            queries=queries,
+            best_fitness=float(best_fitness) if np.isfinite(best_fitness) else 0.0,
+            candidates_rejected_by_naturalness=rejected,
+        )
+
+
+__all__ = [
+    "FuzzerConfig",
+    "OperationalFuzzer",
+    "FuzzCampaignResult",
+    "SeedFuzzResult",
+]

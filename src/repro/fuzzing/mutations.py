@@ -1,0 +1,175 @@
+"""Mutation operators used by the operational fuzzer.
+
+Each operator proposes a new candidate from the current one while staying
+inside the L∞ cell around the original seed.  The fuzzer mixes *undirected*
+operators (noise, feature perturbations, interpolation towards natural
+neighbours — these tend to preserve naturalness) with *directed* operators
+(signed-gradient steps — these find misclassifications quickly), which is how
+the trade-off between naturalness and loss gradient described in Section II
+is realised mechanically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..config import clip01
+from ..exceptions import FuzzingError
+from ..types import Classifier
+
+
+@dataclass
+class MutationContext:
+    """Everything a mutation operator may use to propose a candidate.
+
+    Attributes
+    ----------
+    seed:
+        The original operational seed (centre of the cell).
+    current:
+        The current candidate being mutated.
+    label:
+        True label of the seed.
+    epsilon:
+        L∞ radius of the cell around the seed.
+    model:
+        Model under test (only directed operators query it).
+    natural_neighbours:
+        Optional pool of natural inputs near the seed, used by the
+        interpolation operator.
+    rng:
+        Random generator for the proposal.
+    """
+
+    seed: np.ndarray
+    current: np.ndarray
+    label: int
+    epsilon: float
+    model: Classifier
+    natural_neighbours: Optional[np.ndarray]
+    rng: np.random.Generator
+
+
+class MutationOperator:
+    """Base class for mutation operators."""
+
+    #: Whether the operator consumes a model query (gradient or prediction).
+    queries_model: bool = False
+    name: str = "mutation"
+
+    def propose(self, context: MutationContext) -> np.ndarray:
+        """Return a new candidate derived from ``context.current``."""
+        raise NotImplementedError
+
+    @staticmethod
+    def _project(candidate: np.ndarray, seed: np.ndarray, epsilon: float) -> np.ndarray:
+        return clip01(np.clip(candidate, seed - epsilon, seed + epsilon))
+
+
+class GaussianMutation(MutationOperator):
+    """Add small Gaussian noise to every feature."""
+
+    name = "gaussian"
+
+    def __init__(self, scale_fraction: float = 0.25) -> None:
+        if not 0 < scale_fraction <= 1:
+            raise FuzzingError("scale_fraction must be in (0, 1]")
+        self.scale_fraction = scale_fraction
+
+    def propose(self, context: MutationContext) -> np.ndarray:
+        std = context.epsilon * self.scale_fraction
+        noise = context.rng.normal(0.0, std, size=context.current.shape)
+        return self._project(context.current + noise, context.seed, context.epsilon)
+
+
+class SparseMutation(MutationOperator):
+    """Perturb a random subset of features by up to epsilon (salt-and-pepper style)."""
+
+    name = "sparse"
+
+    def __init__(self, fraction: float = 0.1) -> None:
+        if not 0 < fraction <= 1:
+            raise FuzzingError("fraction must be in (0, 1]")
+        self.fraction = fraction
+
+    def propose(self, context: MutationContext) -> np.ndarray:
+        d = context.current.shape[0]
+        count = max(1, int(round(self.fraction * d)))
+        indices = context.rng.choice(d, size=count, replace=False)
+        candidate = context.current.copy()
+        candidate[indices] += context.rng.uniform(
+            -context.epsilon, context.epsilon, size=count
+        )
+        return self._project(candidate, context.seed, context.epsilon)
+
+
+class InterpolationMutation(MutationOperator):
+    """Move towards a random natural neighbour of the seed.
+
+    Because the target is itself natural, interpolated candidates stay close
+    to the data manifold — this operator injects naturalness-preserving
+    diversity the gradient alone would not provide.
+    """
+
+    name = "interpolation"
+
+    def __init__(self, max_step: float = 0.5) -> None:
+        if not 0 < max_step <= 1:
+            raise FuzzingError("max_step must be in (0, 1]")
+        self.max_step = max_step
+
+    def propose(self, context: MutationContext) -> np.ndarray:
+        neighbours = context.natural_neighbours
+        if neighbours is None or len(neighbours) == 0:
+            # degenerate gracefully to a Gaussian proposal
+            return GaussianMutation().propose(context)
+        target = neighbours[context.rng.integers(len(neighbours))]
+        alpha = context.rng.uniform(0.0, self.max_step)
+        candidate = context.current + alpha * (target - context.current)
+        return self._project(candidate, context.seed, context.epsilon)
+
+
+class GradientMutation(MutationOperator):
+    """Directed signed-gradient step (the loss-gradient guidance of Section II.c)."""
+
+    name = "gradient"
+    queries_model = True
+
+    def __init__(self, step_fraction: float = 0.25) -> None:
+        if not 0 < step_fraction <= 1:
+            raise FuzzingError("step_fraction must be in (0, 1]")
+        self.step_fraction = step_fraction
+
+    def propose(self, context: MutationContext) -> np.ndarray:
+        gradient = context.model.loss_input_gradient(
+            context.current[None, :], np.asarray([context.label])
+        )[0]
+        step = context.epsilon * self.step_fraction
+        candidate = context.current + step * np.sign(gradient)
+        return self._project(candidate, context.seed, context.epsilon)
+
+
+def default_operators(use_gradient: bool = True) -> list[MutationOperator]:
+    """The default operator mix used by the operational fuzzer."""
+    operators: list[MutationOperator] = [
+        GaussianMutation(),
+        SparseMutation(),
+        InterpolationMutation(),
+    ]
+    if use_gradient:
+        operators.append(GradientMutation())
+    return operators
+
+
+__all__ = [
+    "MutationContext",
+    "MutationOperator",
+    "GaussianMutation",
+    "SparseMutation",
+    "InterpolationMutation",
+    "GradientMutation",
+    "default_operators",
+]

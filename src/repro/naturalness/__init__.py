@@ -1,0 +1,21 @@
+"""Quantified naturalness — the approximation of the local operational profile.
+
+See :mod:`repro.naturalness.metrics` for the scorers and the rationale
+(Section II.b of the paper).
+"""
+
+from .metrics import (
+    CompositeNaturalness,
+    DensityNaturalness,
+    NaturalnessScorer,
+    ReconstructionNaturalness,
+    default_naturalness_scorer,
+)
+
+__all__ = [
+    "CompositeNaturalness",
+    "DensityNaturalness",
+    "NaturalnessScorer",
+    "ReconstructionNaturalness",
+    "default_naturalness_scorer",
+]

@@ -1,0 +1,63 @@
+"""Weight initialisation schemes for the numpy neural-network substrate."""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from ..config import DEFAULT_DTYPE, RngLike, ensure_rng
+from ..exceptions import ConfigurationError
+
+_VALID = ("he", "xavier", "lecun", "normal", "uniform", "zeros")
+
+
+def initialize(
+    shape: Tuple[int, ...],
+    scheme: str = "he",
+    rng: RngLike = None,
+    scale: float = 0.05,
+) -> np.ndarray:
+    """Create an initial weight tensor.
+
+    Parameters
+    ----------
+    shape:
+        Shape of the tensor to create.  The first axis is treated as the
+        fan-in and the second as the fan-out for the variance-scaling schemes.
+    scheme:
+        One of ``"he"``, ``"xavier"``, ``"lecun"``, ``"normal"``,
+        ``"uniform"`` or ``"zeros"``.
+    rng:
+        Seed or generator for the random draw.
+    scale:
+        Standard deviation (``"normal"``) or half-width (``"uniform"``) for
+        the non-variance-scaling schemes.
+    """
+    if scheme not in _VALID:
+        raise ConfigurationError(
+            f"unknown initialisation scheme {scheme!r}; expected one of {_VALID}"
+        )
+    generator = ensure_rng(rng)
+    if scheme == "zeros":
+        return np.zeros(shape, dtype=DEFAULT_DTYPE)
+
+    fan_in = int(np.prod(shape[1:])) if len(shape) > 1 else int(shape[0])
+    fan_in = max(fan_in, 1)
+    fan_out = int(shape[0]) if len(shape) > 1 else int(shape[0])
+    fan_out = max(fan_out, 1)
+
+    if scheme == "he":
+        std = np.sqrt(2.0 / fan_in)
+        values = generator.normal(0.0, std, size=shape)
+    elif scheme == "xavier":
+        limit = np.sqrt(6.0 / (fan_in + fan_out))
+        values = generator.uniform(-limit, limit, size=shape)
+    elif scheme == "lecun":
+        std = np.sqrt(1.0 / fan_in)
+        values = generator.normal(0.0, std, size=shape)
+    elif scheme == "normal":
+        values = generator.normal(0.0, scale, size=shape)
+    else:  # uniform
+        values = generator.uniform(-scale, scale, size=shape)
+    return values.astype(DEFAULT_DTYPE)

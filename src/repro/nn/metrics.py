@@ -1,0 +1,124 @@
+"""Classification metrics used by the trainer, reliability assessor and benches."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..config import EPSILON
+from ..exceptions import ShapeError
+
+
+def _check_pair(y_true: np.ndarray, y_pred: np.ndarray) -> None:
+    if y_true.shape != y_pred.shape:
+        raise ShapeError(
+            f"y_true and y_pred must have the same shape, got {y_true.shape} vs {y_pred.shape}"
+        )
+
+
+def accuracy(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Fraction of predictions equal to the ground truth."""
+    y_true = np.asarray(y_true)
+    y_pred = np.asarray(y_pred)
+    _check_pair(y_true, y_pred)
+    if y_true.size == 0:
+        return 0.0
+    return float(np.mean(y_true == y_pred))
+
+
+def weighted_accuracy(
+    y_true: np.ndarray, y_pred: np.ndarray, weights: np.ndarray
+) -> float:
+    """Accuracy where each sample counts with a non-negative weight.
+
+    This is *operational accuracy* when the weights are operational-profile
+    densities: it estimates the probability that the model handles a randomly
+    drawn operational input correctly.
+    """
+    y_true = np.asarray(y_true)
+    y_pred = np.asarray(y_pred)
+    weights = np.asarray(weights, dtype=float)
+    _check_pair(y_true, y_pred)
+    if weights.shape != y_true.shape:
+        raise ShapeError("weights must match the label arrays in shape")
+    if np.any(weights < 0):
+        raise ShapeError("weights must be non-negative")
+    total = weights.sum()
+    if total <= 0:
+        return 0.0
+    return float(np.sum((y_true == y_pred) * weights) / total)
+
+
+def confusion_matrix(
+    y_true: np.ndarray, y_pred: np.ndarray, num_classes: Optional[int] = None
+) -> np.ndarray:
+    """Return the ``(num_classes, num_classes)`` confusion matrix (rows = truth)."""
+    y_true = np.asarray(y_true, dtype=int)
+    y_pred = np.asarray(y_pred, dtype=int)
+    _check_pair(y_true, y_pred)
+    if num_classes is None:
+        num_classes = int(max(y_true.max(initial=0), y_pred.max(initial=0))) + 1
+    matrix = np.zeros((num_classes, num_classes), dtype=int)
+    for t, p in zip(y_true, y_pred):
+        matrix[t, p] += 1
+    return matrix
+
+
+def per_class_accuracy(
+    y_true: np.ndarray, y_pred: np.ndarray, num_classes: Optional[int] = None
+) -> np.ndarray:
+    """Accuracy computed separately for each true class (NaN-free: 0 if unseen)."""
+    matrix = confusion_matrix(y_true, y_pred, num_classes)
+    totals = matrix.sum(axis=1)
+    correct = np.diag(matrix)
+    return np.where(totals > 0, correct / np.maximum(totals, 1), 0.0)
+
+
+def precision_recall_f1(
+    y_true: np.ndarray, y_pred: np.ndarray, num_classes: Optional[int] = None
+) -> Dict[str, np.ndarray]:
+    """Per-class precision, recall and F1 scores."""
+    matrix = confusion_matrix(y_true, y_pred, num_classes)
+    true_pos = np.diag(matrix).astype(float)
+    predicted = matrix.sum(axis=0).astype(float)
+    actual = matrix.sum(axis=1).astype(float)
+    precision = true_pos / np.maximum(predicted, EPSILON)
+    recall = true_pos / np.maximum(actual, EPSILON)
+    f1 = 2 * precision * recall / np.maximum(precision + recall, EPSILON)
+    return {"precision": precision, "recall": recall, "f1": f1}
+
+
+def cross_entropy(probs: np.ndarray, y_true: np.ndarray) -> float:
+    """Mean negative log-likelihood of the true labels under ``probs``."""
+    probs = np.asarray(probs, dtype=float)
+    y_true = np.asarray(y_true, dtype=int)
+    if probs.ndim != 2 or probs.shape[0] != y_true.shape[0]:
+        raise ShapeError("probs must be (n, k) matching y_true length")
+    picked = probs[np.arange(len(y_true)), y_true]
+    return float(np.mean(-np.log(np.maximum(picked, EPSILON))))
+
+
+def prediction_margin(probs: np.ndarray, y_true: np.ndarray) -> np.ndarray:
+    """Margin = p(true class) - max p(other class); negative means misclassified."""
+    probs = np.asarray(probs, dtype=float)
+    y_true = np.asarray(y_true, dtype=int)
+    if probs.ndim != 2 or probs.shape[0] != y_true.shape[0]:
+        raise ShapeError("probs must be (n, k) matching y_true length")
+    n = probs.shape[0]
+    true_probs = probs[np.arange(n), y_true]
+    masked = probs.copy()
+    masked[np.arange(n), y_true] = -np.inf
+    best_other = masked.max(axis=1)
+    return true_probs - best_other
+
+
+__all__ = [
+    "accuracy",
+    "weighted_accuracy",
+    "confusion_matrix",
+    "per_class_accuracy",
+    "precision_recall_f1",
+    "cross_entropy",
+    "prediction_margin",
+]

@@ -1,0 +1,74 @@
+"""Saving and loading network weights as ``.npz`` archives.
+
+Only parameters are persisted; the architecture is reconstructed by the caller
+(e.g. via :mod:`repro.nn.models` factories) and the weights are then loaded
+into it.  This mirrors the state-dict convention of mainstream frameworks and
+keeps the archive format a plain, inspectable numpy file.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List
+
+import numpy as np
+
+from ..exceptions import ShapeError
+from .network import Sequential
+
+_KEY_SEPARATOR = "::"
+
+
+def weights_to_flat_dict(weights: List[Dict[str, np.ndarray]]) -> Dict[str, np.ndarray]:
+    """Flatten per-layer weight dicts into ``{"<idx>::<name>": array}``."""
+    flat: Dict[str, np.ndarray] = {}
+    for index, layer_weights in enumerate(weights):
+        for name, value in layer_weights.items():
+            flat[f"{index}{_KEY_SEPARATOR}{name}"] = value
+    return flat
+
+
+def flat_dict_to_weights(flat: Dict[str, np.ndarray]) -> List[Dict[str, np.ndarray]]:
+    """Inverse of :func:`weights_to_flat_dict`."""
+    if not flat:
+        return []
+    layered: Dict[int, Dict[str, np.ndarray]] = {}
+    max_index = -1
+    for key, value in flat.items():
+        index_str, _, name = key.partition(_KEY_SEPARATOR)
+        if not name:
+            raise ShapeError(f"malformed weight key {key!r}")
+        try:
+            index = int(index_str)
+        except ValueError as exc:
+            raise ShapeError(f"malformed weight key {key!r}") from exc
+        layered.setdefault(index, {})[name] = value
+        max_index = max(max_index, index)
+    return [layered.get(i, {}) for i in range(max_index + 1)]
+
+
+def save_weights(network: Sequential, path: str) -> None:
+    """Save the network's parameters to ``path`` as a compressed ``.npz``."""
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    flat = weights_to_flat_dict(network.get_weights())
+    np.savez_compressed(path, **flat)
+
+
+def load_weights(network: Sequential, path: str) -> None:
+    """Load parameters saved by :func:`save_weights` into ``network`` in place."""
+    with np.load(path) as archive:
+        flat = {key: archive[key] for key in archive.files}
+    weights = flat_dict_to_weights(flat)
+    # np.load drops empty dicts for parameter-free layers; pad to the layer count.
+    while len(weights) < len(network.layers):
+        weights.append({})
+    network.set_weights(weights)
+
+
+__all__ = [
+    "save_weights",
+    "load_weights",
+    "weights_to_flat_dict",
+    "flat_dict_to_weights",
+]

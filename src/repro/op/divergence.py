@@ -1,0 +1,122 @@
+"""Divergences between distributions over the input space.
+
+Used to (i) score how well an estimated operational profile matches the ground
+truth (experiment E5), (ii) quantify the train/operation mismatch that
+motivates the paper, and (iii) detect operational-profile drift after
+deployment.  All divergences operate on discrete distributions; continuous
+profiles are first discretised onto a common cell partition.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..config import EPSILON, RngLike
+from ..data.partition import Partition
+from ..exceptions import ShapeError
+from .profile import OperationalProfile
+
+
+def _validate_pair(p: np.ndarray, q: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    p = np.asarray(p, dtype=float)
+    q = np.asarray(q, dtype=float)
+    if p.shape != q.shape or p.ndim != 1:
+        raise ShapeError(
+            f"expected two 1-D distributions of equal length, got {p.shape} and {q.shape}"
+        )
+    if np.any(p < -EPSILON) or np.any(q < -EPSILON):
+        raise ShapeError("distributions must be non-negative")
+    p = np.maximum(p, 0.0)
+    q = np.maximum(q, 0.0)
+    p_sum, q_sum = p.sum(), q.sum()
+    if p_sum <= 0 or q_sum <= 0:
+        raise ShapeError("distributions must have positive mass")
+    return p / p_sum, q / q_sum
+
+
+def kl_divergence(p: np.ndarray, q: np.ndarray) -> float:
+    """Kullback–Leibler divergence ``KL(p || q)`` in nats (q is floored)."""
+    p, q = _validate_pair(p, q)
+    q = np.maximum(q, EPSILON)
+    mask = p > 0
+    return float(np.sum(p[mask] * np.log(p[mask] / q[mask])))
+
+
+def js_divergence(p: np.ndarray, q: np.ndarray) -> float:
+    """Jensen–Shannon divergence (symmetric, bounded by ``log 2``)."""
+    p, q = _validate_pair(p, q)
+    m = 0.5 * (p + q)
+    return 0.5 * kl_divergence(p, m) + 0.5 * kl_divergence(q, m)
+
+
+def total_variation(p: np.ndarray, q: np.ndarray) -> float:
+    """Total variation distance ``0.5 * sum |p - q|`` in ``[0, 1]``."""
+    p, q = _validate_pair(p, q)
+    return float(0.5 * np.sum(np.abs(p - q)))
+
+
+def hellinger_distance(p: np.ndarray, q: np.ndarray) -> float:
+    """Hellinger distance in ``[0, 1]``."""
+    p, q = _validate_pair(p, q)
+    return float(np.sqrt(0.5 * np.sum((np.sqrt(p) - np.sqrt(q)) ** 2)))
+
+
+def profile_divergence(
+    estimated: OperationalProfile,
+    reference: OperationalProfile,
+    partition: Partition,
+    metric: str = "js",
+    num_samples: int = 4096,
+    rng: RngLike = None,
+) -> float:
+    """Divergence between two profiles after discretising onto ``partition``.
+
+    Parameters
+    ----------
+    estimated, reference:
+        The two profiles to compare (order matters only for ``"kl"``).
+    partition:
+        Cell partition used for discretisation.
+    metric:
+        ``"kl"``, ``"js"``, ``"tv"`` or ``"hellinger"``.
+    num_samples:
+        Monte Carlo samples used to discretise each profile.
+    """
+    table = {
+        "kl": kl_divergence,
+        "js": js_divergence,
+        "tv": total_variation,
+        "hellinger": hellinger_distance,
+    }
+    if metric not in table:
+        raise ShapeError(f"unknown metric {metric!r}; expected one of {sorted(table)}")
+    p = estimated.cell_probabilities(partition, num_samples=num_samples, rng=rng)
+    q = reference.cell_probabilities(partition, num_samples=num_samples, rng=rng)
+    return table[metric](p, q)
+
+
+def empirical_distribution(
+    x: np.ndarray, partition: Partition, smoothing: float = 0.0
+) -> np.ndarray:
+    """Histogram a batch of inputs over a partition's cells (optionally smoothed)."""
+    if smoothing < 0:
+        raise ShapeError("smoothing must be non-negative")
+    cell_ids = partition.assign(x)
+    counts = np.bincount(cell_ids, minlength=partition.num_cells).astype(float)
+    counts += smoothing
+    total = counts.sum()
+    if total <= 0:
+        raise ShapeError("empirical distribution has no mass")
+    return counts / total
+
+
+__all__ = [
+    "kl_divergence",
+    "js_divergence",
+    "total_variation",
+    "hellinger_distance",
+    "profile_divergence",
+    "empirical_distribution",
+]

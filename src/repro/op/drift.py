@@ -1,0 +1,196 @@
+"""Operational-profile drift: simulation and detection.
+
+The paper stresses that the OP is "not necessarily ... constant after
+deployment".  This module provides (i) scenario generators that simulate an
+operation stream whose class priors and noise level evolve over time, and
+(ii) a windowed drift detector that compares recent operation against the
+profile currently assumed by the testing loop, signalling when the OP should
+be re-learned (re-entering step 1 of Figure 1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..config import RngLike, clip01, ensure_rng
+from ..data.dataset import Dataset
+from ..data.partition import Partition
+from ..exceptions import ConfigurationError, DataError
+from .divergence import empirical_distribution, js_divergence
+from .profile import OperationalProfile
+
+
+@dataclass
+class OperationScenario:
+    """Simulated operation stream drawn from a (possibly drifting) profile.
+
+    Parameters
+    ----------
+    source:
+        Labelled natural dataset the stream draws from.
+    initial_priors:
+        Class priors at the start of operation.
+    final_priors:
+        Class priors at the end of the simulated horizon; ``None`` keeps the
+        priors constant (no drift).
+    horizon:
+        Number of batches over which the priors interpolate linearly from
+        initial to final.
+    noise_std:
+        Gaussian observation noise added to streamed inputs (sensor noise).
+    """
+
+    source: Dataset
+    initial_priors: Sequence[float]
+    final_priors: Optional[Sequence[float]] = None
+    horizon: int = 20
+    noise_std: float = 0.0
+
+    def __post_init__(self) -> None:
+        self._initial = self._validate(self.initial_priors)
+        self._final = (
+            self._validate(self.final_priors) if self.final_priors is not None else None
+        )
+        if self.horizon <= 0:
+            raise ConfigurationError("horizon must be positive")
+        if self.noise_std < 0:
+            raise ConfigurationError("noise_std must be non-negative")
+
+    def _validate(self, priors: Sequence[float]) -> np.ndarray:
+        arr = np.asarray(priors, dtype=float)
+        if arr.shape != (self.source.num_classes,):
+            raise DataError(
+                f"priors must have length {self.source.num_classes}, got {arr.shape}"
+            )
+        if np.any(arr < 0) or arr.sum() <= 0:
+            raise DataError("priors must be non-negative with positive mass")
+        return arr / arr.sum()
+
+    def priors_at(self, step: int) -> np.ndarray:
+        """Class priors in effect at batch index ``step``."""
+        if self._final is None:
+            return self._initial.copy()
+        alpha = min(max(step, 0), self.horizon) / self.horizon
+        priors = (1 - alpha) * self._initial + alpha * self._final
+        return priors / priors.sum()
+
+    def batch(self, step: int, size: int, rng: RngLike = None) -> Dataset:
+        """Draw one operation batch at time ``step``."""
+        if size <= 0:
+            raise DataError("batch size must be positive")
+        generator = ensure_rng(rng)
+        priors = self.priors_at(step)
+        labels = generator.choice(self.source.num_classes, size=size, p=priors)
+        rows = np.zeros(size, dtype=int)
+        for index, label in enumerate(labels):
+            members = self.source.indices_of_class(int(label))
+            if len(members) == 0:
+                members = np.arange(len(self.source))
+            rows[index] = generator.choice(members)
+        x = self.source.x[rows].copy()
+        if self.noise_std > 0:
+            x = clip01(x + generator.normal(0.0, self.noise_std, size=x.shape))
+        return Dataset(
+            x,
+            self.source.y[rows],
+            self.source.num_classes,
+            class_names=self.source.class_names,
+            image_shape=self.source.image_shape,
+            name=f"{self.source.name}-operation-t{step}",
+        )
+
+    def stream(
+        self, num_batches: int, batch_size: int, rng: RngLike = None
+    ) -> Iterator[Dataset]:
+        """Yield ``num_batches`` consecutive operation batches."""
+        if num_batches <= 0:
+            raise DataError("num_batches must be positive")
+        generator = ensure_rng(rng)
+        for step in range(num_batches):
+            yield self.batch(step, batch_size, generator)
+
+
+@dataclass
+class DriftReport:
+    """Outcome of one drift check."""
+
+    step: int
+    divergence: float
+    threshold: float
+    drift_detected: bool
+
+
+@dataclass
+class DriftDetector:
+    """Windowed Jensen–Shannon drift detector over a cell partition.
+
+    The detector discretises both the assumed profile and the recent operation
+    window onto the same partition and raises a drift flag when the JS
+    divergence exceeds ``threshold`` for ``patience`` consecutive checks.
+    """
+
+    partition: Partition
+    assumed_profile: OperationalProfile
+    threshold: float = 0.1
+    patience: int = 2
+    window_size: int = 200
+    smoothing: float = 0.5
+    num_reference_samples: int = 4096
+    rng: RngLike = None
+    history: List[DriftReport] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.threshold <= 0:
+            raise ConfigurationError("threshold must be positive")
+        if self.patience <= 0 or self.window_size <= 0:
+            raise ConfigurationError("patience and window_size must be positive")
+        self._reference = self.assumed_profile.cell_probabilities(
+            self.partition, num_samples=self.num_reference_samples, rng=self.rng
+        )
+        self._window: List[np.ndarray] = []
+        self._consecutive = 0
+        self._step = 0
+
+    def update(self, x: np.ndarray) -> DriftReport:
+        """Feed a batch of operational inputs and return the current drift report."""
+        x = np.atleast_2d(np.asarray(x, dtype=float))
+        if len(x) == 0:
+            raise DataError("drift update requires at least one sample")
+        self._window.append(x)
+        window = np.concatenate(self._window, axis=0)
+        if len(window) > self.window_size:
+            window = window[-self.window_size :]
+            self._window = [window]
+        observed = empirical_distribution(window, self.partition, smoothing=self.smoothing)
+        reference = self._reference + self.smoothing / max(self.partition.num_cells, 1)
+        reference = reference / reference.sum()
+        divergence = js_divergence(observed, reference)
+        if divergence > self.threshold:
+            self._consecutive += 1
+        else:
+            self._consecutive = 0
+        report = DriftReport(
+            step=self._step,
+            divergence=float(divergence),
+            threshold=self.threshold,
+            drift_detected=self._consecutive >= self.patience,
+        )
+        self.history.append(report)
+        self._step += 1
+        return report
+
+    def reset(self, new_profile: Optional[OperationalProfile] = None) -> None:
+        """Clear the window; optionally adopt a freshly re-learned profile."""
+        if new_profile is not None:
+            self.assumed_profile = new_profile
+            self._reference = new_profile.cell_probabilities(
+                self.partition, num_samples=self.num_reference_samples, rng=self.rng
+            )
+        self._window = []
+        self._consecutive = 0
+
+
+__all__ = ["OperationScenario", "DriftDetector", "DriftReport"]

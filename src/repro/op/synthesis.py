@@ -1,0 +1,156 @@
+"""Synthesising an operational dataset from a learned profile (RQ1, step 1).
+
+The first step of the paper's workflow turns the learned operational profile
+into an *operational dataset*: a labelled pool of inputs whose empirical
+distribution follows the OP.  Seeds for the fuzzer are later sampled from this
+pool (RQ2), and the reliability assessment uses its labels as the per-cell
+ground truth (RQ5).
+
+Label assignment distinguishes three cases:
+
+* the profile carries labels (class-frequency or labelled-GMM profiles) — use
+  them directly;
+* a labelled reference dataset is available — assign each synthesised input the
+  label of its nearest reference neighbour (valid because synthesised points
+  stay close to the natural data manifold);
+* otherwise, an oracle model can be supplied as a last resort (pseudo-labels).
+
+Data augmentation (the paper's RQ1 mentions augmentation and high-fidelity
+simulation as OP-learning accelerators) can optionally be applied to enlarge
+the synthesised pool.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+from scipy.spatial import cKDTree
+
+from ..config import RngLike, ensure_rng
+from ..data.dataset import Dataset
+from ..data.transforms import Augmenter
+from ..exceptions import DataError, ProfileError
+from ..types import Classifier
+from .profile import OperationalProfile
+
+
+@dataclass
+class OperationalDatasetSynthesizer:
+    """Builds labelled operational datasets by sampling a profile.
+
+    Parameters
+    ----------
+    profile:
+        The operational profile to sample from.
+    reference:
+        Labelled natural dataset used for nearest-neighbour label transfer when
+        the profile itself is unlabelled.
+    oracle:
+        Optional classifier used as a labelling fallback (pseudo-labelling);
+        only consulted when neither the profile nor the reference can label a
+        sample.
+    augmenter:
+        Optional augmentation pipeline applied to the synthesised pool.
+    max_label_distance:
+        When transferring labels from the reference by nearest neighbour,
+        samples farther than this (L2) from every reference point are dropped
+        unless an oracle is available, because their label would be guesswork.
+    """
+
+    profile: OperationalProfile
+    reference: Optional[Dataset] = None
+    oracle: Optional[Classifier] = None
+    augmenter: Optional[Augmenter] = None
+    max_label_distance: float = np.inf
+
+    def synthesize(self, size: int, rng: RngLike = None) -> Dataset:
+        """Return a labelled operational dataset with roughly ``size`` rows."""
+        if size <= 0:
+            raise DataError("size must be positive")
+        if self.reference is None and self.oracle is None:
+            # the profile must be able to label its own samples
+            _, probe_labels = self.profile.sample_labeled(1, ensure_rng(rng))
+            if probe_labels is None:
+                raise ProfileError(
+                    "profile provides no labels and neither a reference dataset "
+                    "nor an oracle was supplied"
+                )
+        generator = ensure_rng(rng)
+        x, labels = self.profile.sample_labeled(size, generator)
+        if labels is None:
+            x, labels = self._label_samples(x, generator)
+        num_classes, class_names, image_shape = self._metadata()
+        dataset = Dataset(
+            x,
+            labels,
+            num_classes,
+            class_names=class_names,
+            image_shape=image_shape,
+            name="operational-dataset",
+        )
+        if self.augmenter is not None:
+            dataset = self.augmenter.augment(dataset)
+        return dataset
+
+    # ------------------------------------------------------------------ #
+    # helpers
+    # ------------------------------------------------------------------ #
+    def _metadata(self):
+        if self.reference is not None:
+            return (
+                self.reference.num_classes,
+                self.reference.class_names,
+                self.reference.image_shape,
+            )
+        # label-carrying profile without reference: infer the class count
+        probe_x, probe_labels = self.profile.sample_labeled(256, ensure_rng(0))
+        if probe_labels is None and self.oracle is not None:
+            probe_labels = np.asarray(self.oracle.predict(probe_x), dtype=int)
+        if probe_labels is None:
+            raise ProfileError("cannot infer the number of classes without labels")
+        return int(probe_labels.max()) + 1, None, None
+
+    def _label_samples(
+        self, x: np.ndarray, generator: np.random.Generator
+    ) -> tuple[np.ndarray, np.ndarray]:
+        if self.reference is not None:
+            tree = cKDTree(self.reference.x)
+            distances, indices = tree.query(x)
+            labels = self.reference.y[indices]
+            if np.isfinite(self.max_label_distance):
+                near = distances <= self.max_label_distance
+                if self.oracle is not None and np.any(~near):
+                    far_labels = np.asarray(self.oracle.predict(x[~near]), dtype=int)
+                    labels = labels.copy()
+                    labels[~near] = far_labels
+                    near[:] = True
+                x, labels = x[near], labels[near]
+                if len(x) == 0:
+                    raise DataError(
+                        "all synthesised samples were farther than max_label_distance "
+                        "from the reference dataset"
+                    )
+            return x, labels
+        if self.oracle is not None:
+            return x, np.asarray(self.oracle.predict(x), dtype=int)
+        raise ProfileError("no labelling source available for synthesised samples")
+
+
+def synthesize_operational_dataset(
+    profile: OperationalProfile,
+    size: int,
+    reference: Optional[Dataset] = None,
+    oracle: Optional[Classifier] = None,
+    augmenter: Optional[Augmenter] = None,
+    rng: RngLike = None,
+) -> Dataset:
+    """Convenience wrapper around :class:`OperationalDatasetSynthesizer`."""
+    synthesizer = OperationalDatasetSynthesizer(
+        profile=profile, reference=reference, oracle=oracle, augmenter=augmenter
+    )
+    return synthesizer.synthesize(size, rng=rng)
+
+
+__all__ = ["OperationalDatasetSynthesizer", "synthesize_operational_dataset"]

@@ -1,0 +1,17 @@
+"""Cell-based delivered-reliability assessment (RQ5, ReAsDL-style)."""
+
+from .assessment import ReliabilityAssessor, ReliabilityEstimate, StoppingRule
+from .bayesian import BayesianCellModel, BetaPrior, CellPosterior
+from .cells import CellEvidence, CellEvidenceTable, CellRobustnessEvaluator
+
+__all__ = [
+    "ReliabilityAssessor",
+    "ReliabilityEstimate",
+    "StoppingRule",
+    "BayesianCellModel",
+    "BetaPrior",
+    "CellPosterior",
+    "CellEvidence",
+    "CellEvidenceTable",
+    "CellRobustnessEvaluator",
+]

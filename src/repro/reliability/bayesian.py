@@ -1,0 +1,121 @@
+"""Bayesian estimators of per-cell unastuteness with conservative bounds.
+
+The ReAsDL model the paper builds on produces *conservative* reliability
+claims: instead of plugging in the empirical failure rate of each cell, it
+maintains a Beta posterior over the cell's unastuteness and reports an upper
+credible bound.  Cells with little or no evidence therefore contribute a
+pessimistic (large) unastuteness, which is exactly the behaviour a safety
+argument needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import stats
+
+from ..exceptions import ReliabilityError
+from .cells import CellEvidenceTable
+
+
+@dataclass
+class BetaPrior:
+    """Beta prior over a cell's unastuteness.
+
+    The default ``Beta(1, 9)`` encodes a weak prior belief that roughly 10 %
+    of inputs in an arbitrary cell could be mishandled — deliberately
+    pessimistic for unexplored cells, quickly overridden by evidence.
+    """
+
+    alpha: float = 1.0
+    beta: float = 9.0
+
+    def __post_init__(self) -> None:
+        if self.alpha <= 0 or self.beta <= 0:
+            raise ReliabilityError("Beta prior parameters must be positive")
+
+    @property
+    def mean(self) -> float:
+        return self.alpha / (self.alpha + self.beta)
+
+
+@dataclass
+class CellPosterior:
+    """Beta posterior over one cell's unastuteness."""
+
+    cell_id: int
+    alpha: float
+    beta: float
+
+    @property
+    def mean(self) -> float:
+        return self.alpha / (self.alpha + self.beta)
+
+    def upper_bound(self, confidence: float = 0.95) -> float:
+        """Upper credible bound at the given one-sided confidence level."""
+        if not 0.0 < confidence < 1.0:
+            raise ReliabilityError("confidence must be in (0, 1)")
+        return float(stats.beta.ppf(confidence, self.alpha, self.beta))
+
+    def lower_bound(self, confidence: float = 0.95) -> float:
+        """Lower credible bound at the given one-sided confidence level."""
+        if not 0.0 < confidence < 1.0:
+            raise ReliabilityError("confidence must be in (0, 1)")
+        return float(stats.beta.ppf(1.0 - confidence, self.alpha, self.beta))
+
+
+class BayesianCellModel:
+    """Maps cell evidence to Beta posteriors over unastuteness.
+
+    Parameters
+    ----------
+    prior:
+        Prior applied to every cell.
+    unexplored_pessimistic:
+        When ``True``, cells with zero trials keep the raw prior (pessimistic
+        mean ~ ``prior.mean``); when ``False`` they are treated as perfectly
+        astute (mean 0), which is only appropriate for non-safety analyses.
+    """
+
+    def __init__(self, prior: BetaPrior | None = None, unexplored_pessimistic: bool = True) -> None:
+        self.prior = prior if prior is not None else BetaPrior()
+        self.unexplored_pessimistic = unexplored_pessimistic
+
+    def posterior_for(self, trials: int, failures: int, cell_id: int = -1) -> CellPosterior:
+        """Posterior after observing ``failures`` in ``trials`` Bernoulli trials."""
+        if trials < 0 or failures < 0 or failures > trials:
+            raise ReliabilityError("invalid evidence: need 0 <= failures <= trials")
+        return CellPosterior(
+            cell_id=cell_id,
+            alpha=self.prior.alpha + failures,
+            beta=self.prior.beta + (trials - failures),
+        )
+
+    def posterior_means(self, table: CellEvidenceTable) -> np.ndarray:
+        """Posterior mean unastuteness for every cell of the table's partition."""
+        return self._vector(table, bound=None)
+
+    def posterior_upper_bounds(
+        self, table: CellEvidenceTable, confidence: float = 0.95
+    ) -> np.ndarray:
+        """Conservative (upper credible bound) unastuteness for every cell."""
+        return self._vector(table, bound=confidence)
+
+    def _vector(self, table: CellEvidenceTable, bound: float | None) -> np.ndarray:
+        num_cells = table.partition.num_cells
+        if self.unexplored_pessimistic:
+            default_posterior = CellPosterior(-1, self.prior.alpha, self.prior.beta)
+        else:
+            default_posterior = CellPosterior(-1, 1e-3, 1e3)
+        default_value = (
+            default_posterior.mean if bound is None else default_posterior.upper_bound(bound)
+        )
+        values = np.full(num_cells, default_value, dtype=float)
+        for cell_id, evidence in table.cells.items():
+            posterior = self.posterior_for(evidence.trials, evidence.failures, cell_id)
+            values[cell_id] = posterior.mean if bound is None else posterior.upper_bound(bound)
+        return values
+
+
+__all__ = ["BetaPrior", "CellPosterior", "BayesianCellModel"]

@@ -1,0 +1,9 @@
+"""Retraining on detected operational adversarial examples (RQ4)."""
+
+from .adversarial_training import (
+    OperationalRetrainer,
+    RetrainingConfig,
+    StandardAdversarialTrainer,
+)
+
+__all__ = ["OperationalRetrainer", "RetrainingConfig", "StandardAdversarialTrainer"]

@@ -1,0 +1,35 @@
+"""Weight-based seed sampling from the operational dataset (RQ2)."""
+
+from .samplers import (
+    CellStratifiedSeedSampler,
+    OperationalSeedSampler,
+    SeedSampler,
+    SeedSelection,
+    UniformSeedSampler,
+)
+from .weights import (
+    SurpriseWeight,
+    WeightFunction,
+    available_weight_functions,
+    entropy_weight,
+    gradient_norm_weight,
+    loss_weight,
+    margin_weight,
+    weight_function_from_name,
+)
+
+__all__ = [
+    "CellStratifiedSeedSampler",
+    "OperationalSeedSampler",
+    "SeedSampler",
+    "SeedSelection",
+    "UniformSeedSampler",
+    "SurpriseWeight",
+    "WeightFunction",
+    "available_weight_functions",
+    "entropy_weight",
+    "gradient_norm_weight",
+    "loss_weight",
+    "margin_weight",
+    "weight_function_from_name",
+]

@@ -1,0 +1,170 @@
+"""Auxiliary information for weight-based seed sampling (RQ2).
+
+Following Guerriero et al. (reference [10]), seeds should be sampled from the
+operational dataset with weights built from *auxiliary information* that
+indicates which data points are likely to cause failures.  Each function here
+maps (model, inputs[, labels]) to non-negative scores where **higher means
+"more likely to be buggy nearby"**; the sampler then combines them with the
+operational-profile density.
+
+All scores are normalised to ``[0, 1]`` over the batch so different sources
+can be mixed on comparable scales.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+import numpy as np
+from scipy.spatial import cKDTree
+
+from ..config import EPSILON
+from ..exceptions import ConfigurationError, SamplingError, ShapeError
+from ..nn.metrics import prediction_margin
+from ..types import Classifier
+
+#: Signature of an auxiliary weight function.
+WeightFunction = Callable[[Classifier, np.ndarray, Optional[np.ndarray]], np.ndarray]
+
+
+def _normalise(scores: np.ndarray) -> np.ndarray:
+    """Rescale scores to [0, 1]; a constant (or single-value) vector maps to ones."""
+    scores = np.asarray(scores, dtype=float)
+    if scores.size == 0:
+        return scores
+    low, high = float(scores.min()), float(scores.max())
+    if high - low < EPSILON:
+        return np.ones_like(scores)
+    return (scores - low) / (high - low)
+
+
+def margin_weight(
+    model: Classifier, x: np.ndarray, y: Optional[np.ndarray] = None
+) -> np.ndarray:
+    """Low prediction margin → high weight (points near the decision boundary).
+
+    When labels are available the margin is measured against the true class;
+    otherwise against the predicted class (pure confidence).
+    """
+    probs = model.predict_proba(x)
+    if y is not None:
+        margins = prediction_margin(probs, np.asarray(y, dtype=int))
+    else:
+        sorted_probs = np.sort(probs, axis=1)
+        margins = sorted_probs[:, -1] - sorted_probs[:, -2]
+    return _normalise(-margins)
+
+
+def entropy_weight(
+    model: Classifier, x: np.ndarray, y: Optional[np.ndarray] = None
+) -> np.ndarray:
+    """High predictive entropy → high weight (the model is unsure)."""
+    probs = np.maximum(model.predict_proba(x), EPSILON)
+    entropy = -np.sum(probs * np.log(probs), axis=1)
+    return _normalise(entropy)
+
+
+def loss_weight(
+    model: Classifier, x: np.ndarray, y: Optional[np.ndarray] = None
+) -> np.ndarray:
+    """High cross-entropy loss on the true label → high weight (requires labels)."""
+    if y is None:
+        raise SamplingError("loss_weight requires true labels")
+    probs = np.maximum(model.predict_proba(x), EPSILON)
+    y = np.asarray(y, dtype=int)
+    if y.shape[0] != probs.shape[0]:
+        raise ShapeError("labels must align with inputs in loss_weight")
+    losses = -np.log(probs[np.arange(len(y)), y])
+    return _normalise(losses)
+
+
+def gradient_norm_weight(
+    model: Classifier, x: np.ndarray, y: Optional[np.ndarray] = None
+) -> np.ndarray:
+    """Large loss gradient w.r.t. the input → high weight (steep loss surface).
+
+    Uses predicted labels when true labels are unavailable.
+    """
+    labels = np.asarray(y, dtype=int) if y is not None else model.predict(x)
+    gradients = model.loss_input_gradient(np.atleast_2d(x), labels)
+    norms = np.linalg.norm(np.atleast_2d(gradients), axis=1)
+    return _normalise(norms)
+
+
+class SurpriseWeight:
+    """Distance-based surprise adequacy computed in input space.
+
+    The surprise of an input is the ratio of (a) its distance to the nearest
+    training point of the same (predicted) class to (b) its distance to the
+    nearest training point of any other class.  Large surprise means the input
+    sits in sparsely supported territory for its class — a classic indicator
+    of likely misbehaviour.
+    """
+
+    def __init__(self, train_x: np.ndarray, train_y: np.ndarray) -> None:
+        train_x = np.atleast_2d(np.asarray(train_x, dtype=float))
+        train_y = np.asarray(train_y, dtype=int)
+        if len(train_x) != len(train_y) or len(train_x) == 0:
+            raise ConfigurationError("SurpriseWeight requires aligned, non-empty training data")
+        self._trees: Dict[int, cKDTree] = {}
+        self._other_trees: Dict[int, cKDTree] = {}
+        classes = np.unique(train_y)
+        if len(classes) < 2:
+            raise ConfigurationError("SurpriseWeight requires at least two classes")
+        for label in classes:
+            same = train_x[train_y == label]
+            other = train_x[train_y != label]
+            self._trees[int(label)] = cKDTree(same)
+            self._other_trees[int(label)] = cKDTree(other)
+        self._classes = set(int(c) for c in classes)
+
+    def __call__(
+        self, model: Classifier, x: np.ndarray, y: Optional[np.ndarray] = None
+    ) -> np.ndarray:
+        x = np.atleast_2d(np.asarray(x, dtype=float))
+        labels = np.asarray(y, dtype=int) if y is not None else model.predict(x)
+        surprises = np.zeros(len(x))
+        for index, (row, label) in enumerate(zip(x, labels)):
+            label = int(label)
+            if label not in self._classes:
+                surprises[index] = 1.0
+                continue
+            same_dist, _ = self._trees[label].query(row)
+            other_dist, _ = self._other_trees[label].query(row)
+            surprises[index] = same_dist / max(other_dist, EPSILON)
+        return _normalise(surprises)
+
+
+_REGISTRY: Dict[str, WeightFunction] = {
+    "margin": margin_weight,
+    "entropy": entropy_weight,
+    "loss": loss_weight,
+    "gradient-norm": gradient_norm_weight,
+}
+
+
+def weight_function_from_name(name: str) -> WeightFunction:
+    """Look up a stateless auxiliary weight function by name."""
+    if name not in _REGISTRY:
+        raise SamplingError(
+            f"unknown weight function {name!r}; expected one of {sorted(_REGISTRY)} "
+            "(SurpriseWeight must be constructed explicitly with training data)"
+        )
+    return _REGISTRY[name]
+
+
+def available_weight_functions() -> list[str]:
+    """Names accepted by :func:`weight_function_from_name`."""
+    return sorted(_REGISTRY)
+
+
+__all__ = [
+    "WeightFunction",
+    "margin_weight",
+    "entropy_weight",
+    "loss_weight",
+    "gradient_norm_weight",
+    "SurpriseWeight",
+    "weight_function_from_name",
+    "available_weight_functions",
+]

@@ -1,0 +1,243 @@
+"""Shared dataclasses and protocols used across subsystems.
+
+These are the "wire types" that flow between the five steps of the paper's
+workflow (Figure 1): labelled datasets, detected adversarial examples, test
+cases, and campaign-level reports.  Keeping them in one module avoids circular
+imports between :mod:`repro.core` and the subsystem packages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Protocol, Sequence, runtime_checkable
+
+import numpy as np
+
+from .exceptions import DataError, ShapeError
+
+
+@runtime_checkable
+class Classifier(Protocol):
+    """Minimal protocol the testing machinery requires from a model under test.
+
+    Any object with these methods can be plugged into the attacks, the fuzzer,
+    the reliability assessor and the workflow — not only :class:`repro.nn`
+    networks.
+    """
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Return predicted class labels for a batch of inputs."""
+        ...
+
+    def predict_proba(self, x: np.ndarray) -> np.ndarray:
+        """Return class probabilities, shape ``(n, num_classes)``."""
+        ...
+
+    def loss_input_gradient(self, x: np.ndarray, y: np.ndarray) -> np.ndarray:
+        """Return the gradient of the loss w.r.t. the inputs."""
+        ...
+
+
+@dataclass
+class LabeledBatch:
+    """A batch of inputs with integer class labels.
+
+    Attributes
+    ----------
+    x:
+        Inputs, shape ``(n, d)`` with features flattened to one axis.
+    y:
+        Integer labels, shape ``(n,)``.
+    """
+
+    x: np.ndarray
+    y: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.x = np.asarray(self.x, dtype=float)
+        self.y = np.asarray(self.y, dtype=int)
+        if self.x.ndim != 2:
+            raise ShapeError(f"x must be 2-D (n, d), got shape {self.x.shape}")
+        if self.y.ndim != 1:
+            raise ShapeError(f"y must be 1-D (n,), got shape {self.y.shape}")
+        if self.x.shape[0] != self.y.shape[0]:
+            raise DataError(
+                f"x and y disagree on batch size: {self.x.shape[0]} vs {self.y.shape[0]}"
+            )
+
+    def __len__(self) -> int:
+        return self.x.shape[0]
+
+    @property
+    def num_features(self) -> int:
+        return self.x.shape[1]
+
+    def subset(self, indices: Sequence[int]) -> "LabeledBatch":
+        """Return a new batch containing only the rows in ``indices``."""
+        idx = np.asarray(indices, dtype=int)
+        return LabeledBatch(self.x[idx], self.y[idx])
+
+    def concat(self, other: "LabeledBatch") -> "LabeledBatch":
+        """Return the concatenation of this batch with ``other``."""
+        if other.num_features != self.num_features:
+            raise DataError(
+                "cannot concatenate batches with different feature counts: "
+                f"{self.num_features} vs {other.num_features}"
+            )
+        return LabeledBatch(
+            np.concatenate([self.x, other.x], axis=0),
+            np.concatenate([self.y, other.y], axis=0),
+        )
+
+
+@dataclass
+class AdversarialExample:
+    """A single detected adversarial example.
+
+    Attributes
+    ----------
+    seed:
+        The original (correctly handled or operational) input the attack
+        started from, shape ``(d,)``.
+    perturbed:
+        The adversarial input that is misclassified, shape ``(d,)``.
+    true_label:
+        Ground-truth label of the seed.
+    predicted_label:
+        The (wrong) label the model assigns to ``perturbed``.
+    distance:
+        Norm of the perturbation (in the attack's norm).
+    naturalness:
+        Naturalness score of ``perturbed`` (higher is more natural);
+        ``None`` when the detecting method did not evaluate it.
+    op_density:
+        Operational-profile density at the seed (higher means the
+        surrounding region is executed more often in operation);
+        ``None`` when unknown.
+    method:
+        Name of the detection method that produced this AE.
+    queries:
+        Number of model queries (test cases) spent to find this AE.
+    """
+
+    seed: np.ndarray
+    perturbed: np.ndarray
+    true_label: int
+    predicted_label: int
+    distance: float
+    naturalness: Optional[float] = None
+    op_density: Optional[float] = None
+    method: str = "unknown"
+    queries: int = 0
+
+    def perturbation(self) -> np.ndarray:
+        """Return the raw perturbation vector ``perturbed - seed``."""
+        return np.asarray(self.perturbed) - np.asarray(self.seed)
+
+
+@dataclass
+class DetectionResult:
+    """Outcome of running one detection method under a test-case budget.
+
+    Attributes
+    ----------
+    method:
+        Human-readable name of the testing method.
+    adversarial_examples:
+        All AEs found within the budget.
+    test_cases_used:
+        Total number of model queries spent.
+    budget:
+        The budget the method was given.
+    seeds_attacked:
+        Number of distinct seeds the method attacked.
+    """
+
+    method: str
+    adversarial_examples: List[AdversarialExample] = field(default_factory=list)
+    test_cases_used: int = 0
+    budget: int = 0
+    seeds_attacked: int = 0
+
+    @property
+    def num_detected(self) -> int:
+        return len(self.adversarial_examples)
+
+    def detection_rate(self) -> float:
+        """AEs found per test case spent (0 if nothing was spent)."""
+        if self.test_cases_used == 0:
+            return 0.0
+        return self.num_detected / self.test_cases_used
+
+    def mean_op_density(self) -> float:
+        """Mean operational density over detected AEs (0 if none carry it)."""
+        values = [
+            ae.op_density for ae in self.adversarial_examples if ae.op_density is not None
+        ]
+        if not values:
+            return 0.0
+        return float(np.mean(values))
+
+    def mean_naturalness(self) -> float:
+        """Mean naturalness score over detected AEs (0 if none carry it)."""
+        values = [
+            ae.naturalness for ae in self.adversarial_examples if ae.naturalness is not None
+        ]
+        if not values:
+            return 0.0
+        return float(np.mean(values))
+
+    def operational_weight(self) -> float:
+        """Total OP density mass of the detected AEs.
+
+        This is the quantity the paper cares about: detecting many AEs in
+        regions that are never executed contributes nothing to delivered
+        reliability, so we score a method by the OP mass of what it finds.
+        """
+        return float(
+            sum(ae.op_density or 0.0 for ae in self.adversarial_examples)
+        )
+
+
+@dataclass
+class IterationReport:
+    """Summary of one pass through the five-step loop of Figure 1."""
+
+    iteration: int
+    seeds_selected: int
+    test_cases_used: int
+    aes_detected: int
+    pmi_before: float
+    pmi_after: float
+    operational_accuracy_before: float
+    operational_accuracy_after: float
+    reliability_target: float
+    target_met: bool
+    notes: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def pmi_improvement(self) -> float:
+        """Absolute reduction in probability of misclassification per input."""
+        return self.pmi_before - self.pmi_after
+
+
+@dataclass
+class CampaignReport:
+    """Full report of an operational testing campaign (all loop iterations)."""
+
+    iterations: List[IterationReport] = field(default_factory=list)
+    total_test_cases: int = 0
+    total_aes: int = 0
+    final_pmi: float = float("nan")
+    target_met: bool = False
+
+    def append(self, report: IterationReport) -> None:
+        self.iterations.append(report)
+        self.total_test_cases += report.test_cases_used
+        self.total_aes += report.aes_detected
+        self.final_pmi = report.pmi_after
+        self.target_met = report.target_met
+
+    @property
+    def num_iterations(self) -> int:
+        return len(self.iterations)

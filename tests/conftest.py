@@ -1,0 +1,101 @@
+"""Shared fixtures for the test suite.
+
+Expensive artefacts (trained networks, fitted scorers) are session-scoped so
+the several hundred tests stay fast; tests that mutate state must copy.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import Dataset, make_gaussian_clusters, make_glyph_digits
+from repro.naturalness import DensityNaturalness
+from repro.nn import Adam, Trainer, TrainerConfig, build_mlp_classifier
+from repro.op import ground_truth_profile_for_clusters, profile_from_dataset
+
+
+CLUSTER_STD = 0.10
+NUM_CLUSTER_CLASSES = 4
+OPERATIONAL_PRIORS = np.array([0.55, 0.25, 0.15, 0.05])
+
+
+@pytest.fixture(scope="session")
+def rng():
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(scope="session")
+def clusters_dataset() -> Dataset:
+    return make_gaussian_clusters(
+        800, num_classes=NUM_CLUSTER_CLASSES, cluster_std=CLUSTER_STD, rng=7
+    )
+
+
+@pytest.fixture(scope="session")
+def clusters_split(clusters_dataset):
+    return clusters_dataset.split(0.25, rng=8)
+
+
+@pytest.fixture(scope="session")
+def trained_cluster_model(clusters_split):
+    train, _ = clusters_split
+    model = build_mlp_classifier(
+        train.num_features, train.num_classes, hidden_sizes=(24, 12), rng=9
+    )
+    trainer = Trainer(
+        optimizer=Adam(learning_rate=0.01),
+        config=TrainerConfig(epochs=25, batch_size=64),
+        rng=10,
+    )
+    trainer.fit(model, train.x, train.y)
+    return model
+
+
+@pytest.fixture(scope="session")
+def cluster_profile():
+    return ground_truth_profile_for_clusters(
+        NUM_CLUSTER_CLASSES, 2, CLUSTER_STD, class_priors=OPERATIONAL_PRIORS
+    )
+
+
+@pytest.fixture(scope="session")
+def cluster_naturalness(clusters_split, cluster_profile):
+    train, _ = clusters_split
+    return DensityNaturalness(profile=cluster_profile).fit(train.x)
+
+
+@pytest.fixture(scope="session")
+def operational_cluster_data(cluster_profile, clusters_dataset):
+    from repro.op import synthesize_operational_dataset
+
+    return synthesize_operational_dataset(
+        cluster_profile, size=300, reference=clusters_dataset, rng=11
+    )
+
+
+@pytest.fixture(scope="session")
+def glyph_dataset() -> Dataset:
+    return make_glyph_digits(300, image_size=10, num_classes=4, rng=13)
+
+
+@pytest.fixture(scope="session")
+def glyph_profile(glyph_dataset):
+    return profile_from_dataset(
+        glyph_dataset, class_priors=[0.4, 0.3, 0.2, 0.1], resample_noise=0.02
+    )
+
+
+@pytest.fixture(scope="session")
+def trained_glyph_model(glyph_dataset):
+    train, _ = glyph_dataset.split(0.25, rng=14)
+    model = build_mlp_classifier(
+        train.num_features, train.num_classes, hidden_sizes=(32,), rng=15
+    )
+    trainer = Trainer(
+        optimizer=Adam(learning_rate=0.005),
+        config=TrainerConfig(epochs=15, batch_size=32),
+        rng=16,
+    )
+    trainer.fit(model, train.x, train.y)
+    return model

@@ -1,0 +1,82 @@
+"""Tests for repro.config."""
+
+import numpy as np
+import pytest
+
+from repro.config import DEFAULTS, EPSILON, GlobalConfig, clip01, ensure_rng, spawn_rngs
+from repro.exceptions import ConfigurationError
+
+
+class TestEnsureRng:
+    def test_none_returns_generator(self):
+        assert isinstance(ensure_rng(None), np.random.Generator)
+
+    def test_int_seed_is_deterministic(self):
+        a = ensure_rng(42).random(5)
+        b = ensure_rng(42).random(5)
+        np.testing.assert_allclose(a, b)
+
+    def test_different_seeds_differ(self):
+        assert not np.allclose(ensure_rng(1).random(5), ensure_rng(2).random(5))
+
+    def test_generator_passthrough(self):
+        generator = np.random.default_rng(3)
+        assert ensure_rng(generator) is generator
+
+    def test_numpy_integer_seed_accepted(self):
+        assert isinstance(ensure_rng(np.int64(5)), np.random.Generator)
+
+    def test_negative_seed_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ensure_rng(-1)
+
+    def test_invalid_type_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ensure_rng("seed")  # type: ignore[arg-type]
+
+
+class TestSpawnRngs:
+    def test_count(self):
+        assert len(spawn_rngs(0, 5)) == 5
+
+    def test_zero_count(self):
+        assert spawn_rngs(0, 0) == []
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ConfigurationError):
+            spawn_rngs(0, -1)
+
+    def test_children_are_independent(self):
+        children = spawn_rngs(0, 2)
+        assert not np.allclose(children[0].random(10), children[1].random(10))
+
+    def test_deterministic_given_seed(self):
+        a = [g.random() for g in spawn_rngs(7, 3)]
+        b = [g.random() for g in spawn_rngs(7, 3)]
+        np.testing.assert_allclose(a, b)
+
+
+class TestClip01:
+    def test_clips_below(self):
+        assert clip01(np.array([-0.5])) == pytest.approx(0.0)
+
+    def test_clips_above(self):
+        assert clip01(np.array([1.7])) == pytest.approx(1.0)
+
+    def test_interior_unchanged(self):
+        values = np.array([0.0, 0.3, 1.0])
+        np.testing.assert_allclose(clip01(values), values)
+
+
+class TestGlobalConfig:
+    def test_defaults_exist(self):
+        assert DEFAULTS.epsilon == EPSILON
+        assert DEFAULTS.default_seed == 2021
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            DEFAULTS.epsilon = 1.0  # type: ignore[misc]
+
+    def test_custom_instance(self):
+        config = GlobalConfig(default_seed=None)
+        assert config.default_seed is None

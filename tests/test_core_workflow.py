@@ -1,0 +1,120 @@
+"""Integration tests for the five-step operational testing loop (Figure 1)."""
+
+import numpy as np
+import pytest
+
+from repro.core import OperationalTestingLoop, WorkflowConfig
+from repro.exceptions import ConfigurationError
+from repro.fuzzing import FuzzerConfig
+from repro.reliability import StoppingRule
+from repro.retraining import RetrainingConfig
+from repro.types import CampaignReport
+
+
+@pytest.fixture(scope="module")
+def loop_and_inputs(cluster_profile, clusters_split, cluster_naturalness):
+    train, _ = clusters_split
+    loop = OperationalTestingLoop(
+        profile=cluster_profile,
+        train_data=train,
+        naturalness=cluster_naturalness,
+        fuzzer_config=FuzzerConfig(epsilon=0.1, queries_per_seed=15),
+        retraining_config=RetrainingConfig(epochs=4),
+        stopping_rule=StoppingRule(target_pmi=0.02, max_iterations=3, confidence=0.85),
+        workflow_config=WorkflowConfig(
+            test_budget_per_iteration=250,
+            seeds_per_iteration=15,
+            operational_dataset_size=300,
+        ),
+        rng=0,
+    )
+    return loop
+
+
+class TestWorkflowConfig:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"test_budget_per_iteration": 0},
+            {"seeds_per_iteration": 0},
+            {"operational_dataset_size": 0},
+        ],
+    )
+    def test_invalid(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            WorkflowConfig(**kwargs)
+
+
+class TestOperationalTestingLoop:
+    def test_end_to_end_run(self, loop_and_inputs, trained_cluster_model, operational_cluster_data):
+        loop = loop_and_inputs
+        final_model, report = loop.run(trained_cluster_model, operational_cluster_data)
+        assert isinstance(report, CampaignReport)
+        assert 1 <= report.num_iterations <= 3
+        assert report.total_test_cases > 0
+        assert np.isfinite(report.final_pmi)
+        # the returned model must be usable
+        predictions = final_model.predict(operational_cluster_data.x[:10])
+        assert predictions.shape == (10,)
+
+    def test_original_model_not_modified(
+        self, loop_and_inputs, trained_cluster_model, operational_cluster_data
+    ):
+        weights_before = trained_cluster_model.get_weights()
+        loop_and_inputs.run(trained_cluster_model, operational_cluster_data)
+        weights_after = trained_cluster_model.get_weights()
+        for before, after in zip(weights_before, weights_after):
+            for key in before:
+                np.testing.assert_allclose(before[key], after[key])
+
+    def test_reliability_does_not_collapse(
+        self, loop_and_inputs, trained_cluster_model, operational_cluster_data
+    ):
+        _, report = loop_and_inputs.run(trained_cluster_model, operational_cluster_data)
+        first = report.iterations[0]
+        last = report.iterations[-1]
+        # retraining on detected operational AEs must not make things much worse
+        assert last.pmi_after <= first.pmi_before + 0.05
+
+    def test_iteration_reports_are_consistent(
+        self, loop_and_inputs, trained_cluster_model, operational_cluster_data
+    ):
+        _, report = loop_and_inputs.run(trained_cluster_model, operational_cluster_data)
+        for iteration in report.iterations:
+            assert iteration.seeds_selected > 0
+            assert iteration.test_cases_used > 0
+            assert 0.0 <= iteration.pmi_after <= 1.0
+            assert iteration.operational_accuracy_after == pytest.approx(
+                1.0 - iteration.pmi_after
+            )
+            assert "pmi_upper_after" in iteration.notes
+
+    def test_synthesises_operational_data_when_missing(
+        self, cluster_profile, clusters_split, cluster_naturalness, trained_cluster_model
+    ):
+        train, _ = clusters_split
+        loop = OperationalTestingLoop(
+            profile=cluster_profile,
+            train_data=train,
+            naturalness=cluster_naturalness,
+            fuzzer_config=FuzzerConfig(queries_per_seed=10),
+            retraining_config=RetrainingConfig(epochs=2),
+            stopping_rule=StoppingRule(target_pmi=0.02, max_iterations=1),
+            workflow_config=WorkflowConfig(
+                test_budget_per_iteration=100,
+                seeds_per_iteration=8,
+                operational_dataset_size=150,
+            ),
+            rng=1,
+        )
+        _, report = loop.run(trained_cluster_model)
+        assert report.num_iterations == 1
+
+    def test_detected_aes_accumulate(
+        self, loop_and_inputs, trained_cluster_model, operational_cluster_data
+    ):
+        loop = loop_and_inputs
+        before = len(loop.detected_aes)
+        _, report = loop.run(trained_cluster_model, operational_cluster_data)
+        assert len(loop.detected_aes) >= before
+        assert len(loop.detected_aes) - before == report.total_aes

@@ -1,0 +1,145 @@
+"""Tests for repro.data.dataset."""
+
+import numpy as np
+import pytest
+
+from repro.data import Dataset
+from repro.exceptions import DataError
+
+
+@pytest.fixture()
+def toy_dataset():
+    rng = np.random.default_rng(0)
+    x = rng.random((40, 3))
+    y = np.array([0] * 20 + [1] * 12 + [2] * 8)
+    return Dataset(x, y, num_classes=3, class_names=["a", "b", "c"], name="toy")
+
+
+class TestConstruction:
+    def test_basic_properties(self, toy_dataset):
+        assert len(toy_dataset) == 40
+        assert toy_dataset.num_features == 3
+        assert toy_dataset.name == "toy"
+
+    def test_rejects_1d_x(self):
+        with pytest.raises(DataError):
+            Dataset(np.zeros(4), np.zeros(4, dtype=int), 2)
+
+    def test_rejects_misaligned_labels(self):
+        with pytest.raises(DataError):
+            Dataset(np.zeros((4, 2)), np.zeros(3, dtype=int), 2)
+
+    def test_rejects_too_few_classes(self):
+        with pytest.raises(DataError):
+            Dataset(np.zeros((4, 2)), np.zeros(4, dtype=int), 1)
+
+    def test_rejects_out_of_range_labels(self):
+        with pytest.raises(DataError):
+            Dataset(np.zeros((4, 2)), np.array([0, 1, 2, 3]), 3)
+
+    def test_rejects_wrong_class_names_length(self):
+        with pytest.raises(DataError):
+            Dataset(np.zeros((4, 2)), np.zeros(4, dtype=int), 2, class_names=["only-one"])
+
+    def test_rejects_mismatched_image_shape(self):
+        with pytest.raises(DataError):
+            Dataset(np.zeros((4, 10)), np.zeros(4, dtype=int), 2, image_shape=(1, 3, 3))
+
+
+class TestStatistics:
+    def test_class_counts(self, toy_dataset):
+        np.testing.assert_array_equal(toy_dataset.class_counts(), [20, 12, 8])
+
+    def test_class_frequencies_sum_to_one(self, toy_dataset):
+        assert toy_dataset.class_frequencies().sum() == pytest.approx(1.0)
+
+    def test_indices_of_class(self, toy_dataset):
+        assert len(toy_dataset.indices_of_class(2)) == 8
+        with pytest.raises(DataError):
+            toy_dataset.indices_of_class(5)
+
+    def test_summary_keys(self, toy_dataset):
+        summary = toy_dataset.summary()
+        assert summary["size"] == 40
+        assert summary["num_classes"] == 3
+
+
+class TestTransformations:
+    def test_subset(self, toy_dataset):
+        subset = toy_dataset.subset([0, 1, 2], name="sub")
+        assert len(subset) == 3
+        assert subset.name == "sub"
+
+    def test_shuffled_preserves_pairs(self, toy_dataset):
+        shuffled = toy_dataset.shuffled(rng=0)
+        # every (x, y) pair must still exist
+        for row, label in zip(shuffled.x[:5], shuffled.y[:5]):
+            matches = np.all(np.isclose(toy_dataset.x, row), axis=1)
+            assert np.any(matches)
+            assert label in toy_dataset.y[matches]
+
+    def test_split_sizes(self, toy_dataset):
+        train, test = toy_dataset.split(0.25, rng=0)
+        assert len(train) + len(test) == len(toy_dataset)
+        assert len(test) == pytest.approx(10, abs=2)
+
+    def test_split_stratified_keeps_all_classes(self, toy_dataset):
+        train, test = toy_dataset.split(0.25, rng=0, stratify=True)
+        assert set(np.unique(test.y)) == {0, 1, 2}
+        assert set(np.unique(train.y)) == {0, 1, 2}
+
+    def test_split_non_stratified(self, toy_dataset):
+        train, test = toy_dataset.split(0.3, rng=0, stratify=False)
+        assert len(train) + len(test) == 40
+
+    def test_split_invalid_fraction(self, toy_dataset):
+        with pytest.raises(DataError):
+            toy_dataset.split(0.0)
+        with pytest.raises(DataError):
+            toy_dataset.split(1.0)
+
+    def test_split_needs_two_samples(self):
+        tiny = Dataset(np.zeros((1, 2)), np.zeros(1, dtype=int), 2)
+        with pytest.raises(DataError):
+            tiny.split(0.5)
+
+    def test_sample_without_replacement(self, toy_dataset):
+        sample = toy_dataset.sample(10, rng=0)
+        assert len(sample) == 10
+        with pytest.raises(DataError):
+            toy_dataset.sample(100, replace=False)
+
+    def test_sample_with_replacement(self, toy_dataset):
+        sample = toy_dataset.sample(100, rng=0, replace=True)
+        assert len(sample) == 100
+
+    def test_sample_invalid_size(self, toy_dataset):
+        with pytest.raises(DataError):
+            toy_dataset.sample(0)
+
+    def test_concat(self, toy_dataset):
+        merged = toy_dataset.concat(toy_dataset)
+        assert len(merged) == 80
+
+    def test_concat_mismatch(self, toy_dataset):
+        other = Dataset(np.zeros((3, 2)), np.zeros(3, dtype=int), 3)
+        with pytest.raises(DataError):
+            toy_dataset.concat(other)
+        other_classes = Dataset(np.zeros((3, 3)), np.zeros(3, dtype=int), 2)
+        with pytest.raises(DataError):
+            toy_dataset.concat(other_classes)
+
+    def test_batches_cover_everything_once(self, toy_dataset):
+        seen = 0
+        for batch in toy_dataset.batches(16, rng=0):
+            seen += len(batch)
+            assert batch.num_features == 3
+        assert seen == len(toy_dataset)
+
+    def test_batches_invalid_size(self, toy_dataset):
+        with pytest.raises(DataError):
+            list(toy_dataset.batches(0))
+
+    def test_as_batch(self, toy_dataset):
+        batch = toy_dataset.as_batch()
+        assert len(batch) == len(toy_dataset)

@@ -1,0 +1,198 @@
+"""Tests for repro.op.profile."""
+
+import numpy as np
+import pytest
+
+from repro.data import GridPartition, make_gaussian_clusters
+from repro.exceptions import ProfileError, ShapeError
+from repro.op import (
+    CellProfile,
+    EmpiricalProfile,
+    GaussianMixtureProfile,
+    ground_truth_profile_for_clusters,
+    profile_from_dataset,
+)
+
+
+@pytest.fixture()
+def gmm_profile():
+    weights = np.array([0.7, 0.3])
+    means = np.array([[0.3, 0.3], [0.7, 0.7]])
+    variances = np.full((2, 2), 0.01)
+    return GaussianMixtureProfile(weights, means, variances, component_labels=np.array([0, 1]))
+
+
+class TestGaussianMixtureProfile:
+    def test_density_higher_at_means(self, gmm_profile):
+        at_mean = gmm_profile.density(np.array([[0.3, 0.3]]))[0]
+        far = gmm_profile.density(np.array([[0.05, 0.95]]))[0]
+        assert at_mean > far
+
+    def test_density_respects_weights(self, gmm_profile):
+        heavy = gmm_profile.density(np.array([[0.3, 0.3]]))[0]
+        light = gmm_profile.density(np.array([[0.7, 0.7]]))[0]
+        assert heavy > light
+
+    def test_log_density_consistent(self, gmm_profile):
+        x = np.random.default_rng(0).random((10, 2))
+        np.testing.assert_allclose(
+            np.log(gmm_profile.density(x)), gmm_profile.log_density(x), atol=1e-9
+        )
+
+    def test_responsibilities_sum_to_one(self, gmm_profile):
+        x = np.random.default_rng(0).random((20, 2))
+        resp = gmm_profile.responsibilities(x)
+        np.testing.assert_allclose(resp.sum(axis=1), np.ones(20), atol=1e-12)
+
+    def test_samples_follow_weights(self, gmm_profile):
+        x, labels = gmm_profile.sample_labeled(4000, rng=0)
+        assert np.mean(labels == 0) == pytest.approx(0.7, abs=0.03)
+        assert np.all(x >= 0) and np.all(x <= 1)
+
+    def test_sample_without_labels(self):
+        profile = GaussianMixtureProfile(
+            np.array([1.0]), np.array([[0.5, 0.5]]), np.array([[0.01, 0.01]])
+        )
+        x, labels = profile.sample_labeled(10, rng=0)
+        assert labels is None
+        assert x.shape == (10, 2)
+
+    def test_class_prior(self, gmm_profile):
+        np.testing.assert_allclose(gmm_profile.class_prior(2), [0.7, 0.3])
+
+    def test_class_prior_requires_labels(self):
+        profile = GaussianMixtureProfile(
+            np.array([1.0]), np.array([[0.5, 0.5]]), np.array([[0.01, 0.01]])
+        )
+        with pytest.raises(ProfileError):
+            profile.class_prior(2)
+
+    def test_cell_probabilities_sum_to_one(self, gmm_profile):
+        partition = GridPartition(2, bins_per_dim=5)
+        probs = gmm_profile.cell_probabilities(partition, num_samples=2000, rng=0)
+        assert probs.shape == (25,)
+        assert probs.sum() == pytest.approx(1.0)
+
+    def test_wrong_dimension_rejected(self, gmm_profile):
+        with pytest.raises(ShapeError):
+            gmm_profile.density(np.zeros((3, 5)))
+
+    @pytest.mark.parametrize(
+        "weights,means,variances",
+        [
+            (np.array([0.5]), np.zeros((2, 2)), np.ones((2, 2))),
+            (np.array([-0.5, 1.5]), np.zeros((2, 2)), np.ones((2, 2))),
+            (np.array([0.5, 0.5]), np.zeros((2, 2)), np.zeros((2, 2))),
+        ],
+    )
+    def test_invalid_construction(self, weights, means, variances):
+        with pytest.raises(ProfileError):
+            GaussianMixtureProfile(weights, means, variances)
+
+    def test_invalid_sample_size(self, gmm_profile):
+        with pytest.raises(ProfileError):
+            gmm_profile.sample(0)
+
+
+class TestEmpiricalProfile:
+    def test_density_peaks_near_samples(self):
+        samples = np.array([[0.2, 0.2], [0.8, 0.8]])
+        profile = EmpiricalProfile(samples, bandwidth=0.05)
+        near = profile.density(np.array([[0.21, 0.2]]))[0]
+        far = profile.density(np.array([[0.5, 0.5]]))[0]
+        assert near > far
+
+    def test_weights_change_density(self):
+        samples = np.array([[0.2, 0.2], [0.8, 0.8]])
+        skewed = EmpiricalProfile(samples, weights=np.array([0.9, 0.1]), bandwidth=0.05)
+        assert skewed.density(np.array([[0.2, 0.2]]))[0] > skewed.density(np.array([[0.8, 0.8]]))[0]
+
+    def test_sampling_respects_weights(self):
+        samples = np.array([[0.0, 0.0], [1.0, 1.0]])
+        profile = EmpiricalProfile(
+            samples, labels=np.array([0, 1]), weights=np.array([0.85, 0.15])
+        )
+        _, labels = profile.sample_labeled(3000, rng=0)
+        assert np.mean(labels == 0) == pytest.approx(0.85, abs=0.03)
+
+    def test_resample_noise_moves_points(self):
+        samples = np.full((5, 3), 0.5)
+        noisy = EmpiricalProfile(samples, resample_noise=0.05)
+        drawn = noisy.sample(50, rng=0)
+        assert not np.allclose(drawn, 0.5)
+        assert np.all(drawn >= 0) and np.all(drawn <= 1)
+
+    def test_class_prior(self):
+        profile = EmpiricalProfile(np.zeros((4, 2)), labels=np.array([0, 0, 1, 1]))
+        np.testing.assert_allclose(profile.class_prior(2), [0.5, 0.5])
+
+    def test_class_prior_requires_labels(self):
+        with pytest.raises(ProfileError):
+            EmpiricalProfile(np.zeros((4, 2))).class_prior(2)
+
+    def test_invalid_construction(self):
+        with pytest.raises(ProfileError):
+            EmpiricalProfile(np.zeros((0, 2)))
+        with pytest.raises(ProfileError):
+            EmpiricalProfile(np.zeros((3, 2)), weights=np.array([1.0, 1.0]))
+        with pytest.raises(ProfileError):
+            EmpiricalProfile(np.zeros((3, 2)), bandwidth=-1.0)
+
+
+class TestCellProfile:
+    def test_density_and_sampling(self):
+        partition = GridPartition(2, bins_per_dim=2)
+        probs = np.array([0.7, 0.1, 0.1, 0.1])
+        profile = CellProfile(partition, probs)
+        # density at a point in cell 0 equals its cell probability
+        point = partition.cell_center(0)[None, :]
+        assert profile.density(point)[0] == pytest.approx(0.7)
+        samples = profile.sample(2000, rng=0)
+        cells = partition.assign(samples)
+        assert np.mean(cells == 0) == pytest.approx(0.7, abs=0.05)
+
+    def test_cell_probabilities_same_partition(self):
+        partition = GridPartition(2, bins_per_dim=2)
+        probs = np.array([0.25, 0.25, 0.25, 0.25])
+        profile = CellProfile(partition, probs)
+        np.testing.assert_allclose(profile.cell_probabilities(partition), probs)
+
+    def test_invalid_construction(self):
+        partition = GridPartition(2, bins_per_dim=2)
+        with pytest.raises(ProfileError):
+            CellProfile(partition, np.array([0.5, 0.5]))
+        with pytest.raises(ProfileError):
+            CellProfile(partition, np.array([-1.0, 1.0, 0.5, 0.5]))
+
+
+class TestFactories:
+    def test_ground_truth_matches_generator(self):
+        priors = [0.4, 0.3, 0.2, 0.1]
+        dataset = make_gaussian_clusters(
+            5000, num_classes=4, cluster_std=0.05, class_priors=priors, rng=0
+        )
+        profile = ground_truth_profile_for_clusters(4, 2, 0.05, class_priors=priors)
+        # data drawn from the generator should have much higher density than
+        # uniform points under the ground-truth profile
+        data_density = profile.density(dataset.x[:200]).mean()
+        uniform_density = profile.density(np.random.default_rng(1).random((200, 2))).mean()
+        assert data_density > 2 * uniform_density
+        np.testing.assert_allclose(profile.class_prior(4), np.array(priors))
+
+    def test_profile_from_dataset_reweights_classes(self):
+        dataset = make_gaussian_clusters(400, num_classes=4, rng=0)
+        profile = profile_from_dataset(dataset, class_priors=[0.7, 0.1, 0.1, 0.1])
+        np.testing.assert_allclose(profile.class_prior(4), [0.7, 0.1, 0.1, 0.1], atol=1e-9)
+        _, labels = profile.sample_labeled(2000, rng=0)
+        assert np.mean(labels == 0) == pytest.approx(0.7, abs=0.04)
+
+    def test_profile_from_dataset_invalid_priors(self):
+        dataset = make_gaussian_clusters(100, num_classes=4, rng=0)
+        with pytest.raises(ProfileError):
+            profile_from_dataset(dataset, class_priors=[0.5, 0.5])
+
+    def test_normalized_density_reference_mean_one(self):
+        dataset = make_gaussian_clusters(300, num_classes=4, rng=0)
+        profile = profile_from_dataset(dataset)
+        values = profile.normalized_density(dataset.x, dataset.x)
+        assert np.mean(values) == pytest.approx(1.0, rel=0.2)

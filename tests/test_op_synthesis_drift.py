@@ -1,0 +1,182 @@
+"""Tests for operational dataset synthesis and drift simulation/detection."""
+
+import numpy as np
+import pytest
+
+from repro.data import GridPartition, default_augmenter, make_gaussian_clusters
+from repro.exceptions import ConfigurationError, DataError, ProfileError
+from repro.op import (
+    DriftDetector,
+    EmpiricalProfile,
+    OperationScenario,
+    OperationalDatasetSynthesizer,
+    ground_truth_profile_for_clusters,
+    profile_from_dataset,
+    synthesize_operational_dataset,
+)
+
+
+@pytest.fixture(scope="module")
+def reference():
+    return make_gaussian_clusters(500, num_classes=4, cluster_std=0.06, rng=0)
+
+
+class TestSynthesis:
+    def test_size_and_label_range(self, reference):
+        profile = profile_from_dataset(reference, class_priors=[0.6, 0.2, 0.1, 0.1])
+        dataset = synthesize_operational_dataset(profile, 300, reference=reference, rng=0)
+        assert len(dataset) == 300
+        assert dataset.num_classes == 4
+        assert np.all(dataset.x >= 0) and np.all(dataset.x <= 1)
+
+    def test_skewed_priors_show_up_in_labels(self, reference):
+        profile = profile_from_dataset(reference, class_priors=[0.7, 0.1, 0.1, 0.1])
+        dataset = synthesize_operational_dataset(profile, 1000, reference=reference, rng=0)
+        assert dataset.class_frequencies()[0] == pytest.approx(0.7, abs=0.06)
+
+    def test_label_transfer_from_reference(self, reference):
+        # an unlabelled GMM profile forces nearest-neighbour label transfer
+        profile = ground_truth_profile_for_clusters(4, 2, 0.06)
+        unlabelled = EmpiricalProfile(profile.sample(200, rng=0))
+        dataset = synthesize_operational_dataset(unlabelled, 100, reference=reference, rng=0)
+        assert len(dataset) == 100
+        # transferred labels should mostly agree with the nearest cluster identity
+        truth_labels = profile.responsibilities(dataset.x).argmax(axis=1)
+        assert np.mean(truth_labels == dataset.y) > 0.9
+
+    def test_oracle_labels_when_no_reference(self, reference, trained_cluster_model):
+        profile = EmpiricalProfile(reference.x[:100])
+        synthesizer = OperationalDatasetSynthesizer(profile=profile, oracle=trained_cluster_model)
+        dataset = synthesizer.synthesize(50, rng=0)
+        assert len(dataset) == 50
+
+    def test_unlabelled_profile_without_reference_or_oracle_fails(self, reference):
+        profile = EmpiricalProfile(reference.x[:50])
+        synthesizer = OperationalDatasetSynthesizer(profile=profile)
+        with pytest.raises(ProfileError):
+            synthesizer.synthesize(10, rng=0)
+
+    def test_augmentation_grows_dataset(self, reference):
+        profile = profile_from_dataset(reference)
+        augmenter = default_augmenter(None, copies=1, rng=0)
+        dataset = synthesize_operational_dataset(
+            profile, 100, reference=reference, augmenter=augmenter, rng=0
+        )
+        assert len(dataset) == 200
+
+    def test_invalid_size(self, reference):
+        profile = profile_from_dataset(reference)
+        with pytest.raises(DataError):
+            synthesize_operational_dataset(profile, 0, reference=reference)
+
+    def test_max_label_distance_drops_far_samples(self, reference):
+        profile = EmpiricalProfile(np.full((10, 2), 0.0))  # far from the clusters
+        synthesizer = OperationalDatasetSynthesizer(
+            profile=profile, reference=reference, max_label_distance=1e-6
+        )
+        with pytest.raises(DataError):
+            synthesizer.synthesize(20, rng=0)
+
+
+class TestOperationScenario:
+    def test_priors_interpolate(self, reference):
+        scenario = OperationScenario(
+            source=reference,
+            initial_priors=[0.7, 0.1, 0.1, 0.1],
+            final_priors=[0.1, 0.1, 0.1, 0.7],
+            horizon=10,
+        )
+        start = scenario.priors_at(0)
+        middle = scenario.priors_at(5)
+        end = scenario.priors_at(10)
+        assert start[0] == pytest.approx(0.7)
+        assert end[0] == pytest.approx(0.1)
+        assert start[0] > middle[0] > end[0]
+
+    def test_constant_without_final(self, reference):
+        scenario = OperationScenario(source=reference, initial_priors=[0.25] * 4)
+        np.testing.assert_allclose(scenario.priors_at(100), [0.25] * 4)
+
+    def test_batches_follow_priors(self, reference):
+        scenario = OperationScenario(source=reference, initial_priors=[0.8, 0.1, 0.05, 0.05])
+        batch = scenario.batch(0, 800, rng=0)
+        assert batch.class_frequencies()[0] == pytest.approx(0.8, abs=0.05)
+
+    def test_noise_keeps_domain(self, reference):
+        scenario = OperationScenario(
+            source=reference, initial_priors=[0.25] * 4, noise_std=0.1
+        )
+        batch = scenario.batch(0, 50, rng=0)
+        assert np.all(batch.x >= 0) and np.all(batch.x <= 1)
+
+    def test_stream_yields_requested_batches(self, reference):
+        scenario = OperationScenario(source=reference, initial_priors=[0.25] * 4)
+        batches = list(scenario.stream(5, 20, rng=0))
+        assert len(batches) == 5
+        assert all(len(b) == 20 for b in batches)
+
+    def test_invalid_args(self, reference):
+        with pytest.raises(DataError):
+            OperationScenario(source=reference, initial_priors=[0.5, 0.5])
+        with pytest.raises(ConfigurationError):
+            OperationScenario(source=reference, initial_priors=[0.25] * 4, horizon=0)
+        scenario = OperationScenario(source=reference, initial_priors=[0.25] * 4)
+        with pytest.raises(DataError):
+            scenario.batch(0, 0)
+
+
+class TestDriftDetector:
+    def _detector(self, reference, priors, threshold=0.08):
+        partition = GridPartition(2, bins_per_dim=5)
+        profile = profile_from_dataset(reference, class_priors=priors)
+        return DriftDetector(
+            partition=partition,
+            assumed_profile=profile,
+            threshold=threshold,
+            patience=2,
+            window_size=300,
+            rng=0,
+        )
+
+    def test_no_drift_when_operation_matches(self, reference):
+        detector = self._detector(reference, [0.7, 0.1, 0.1, 0.1])
+        scenario = OperationScenario(source=reference, initial_priors=[0.7, 0.1, 0.1, 0.1])
+        flagged = False
+        for step, batch in enumerate(scenario.stream(6, 100, rng=1)):
+            flagged = flagged or detector.update(batch.x).drift_detected
+        assert not flagged
+
+    def test_detects_strong_prior_shift(self, reference):
+        detector = self._detector(reference, [0.7, 0.1, 0.1, 0.1])
+        shifted = OperationScenario(source=reference, initial_priors=[0.05, 0.05, 0.1, 0.8])
+        reports = [detector.update(batch.x) for batch in shifted.stream(6, 100, rng=1)]
+        assert reports[-1].drift_detected
+        assert reports[-1].divergence > reports[-1].threshold
+
+    def test_reset_adopts_new_profile(self, reference):
+        detector = self._detector(reference, [0.7, 0.1, 0.1, 0.1])
+        new_profile = profile_from_dataset(reference, class_priors=[0.1, 0.1, 0.1, 0.7])
+        detector.reset(new_profile)
+        shifted = OperationScenario(source=reference, initial_priors=[0.1, 0.1, 0.1, 0.7])
+        flagged = False
+        for batch in shifted.stream(6, 100, rng=1):
+            flagged = flagged or detector.update(batch.x).drift_detected
+        assert not flagged
+
+    def test_history_recorded(self, reference):
+        detector = self._detector(reference, [0.25] * 4)
+        detector.update(reference.x[:50])
+        detector.update(reference.x[50:100])
+        assert len(detector.history) == 2
+        assert detector.history[0].step == 0
+
+    def test_invalid_config(self, reference):
+        partition = GridPartition(2, bins_per_dim=5)
+        profile = profile_from_dataset(reference)
+        with pytest.raises(ConfigurationError):
+            DriftDetector(partition=partition, assumed_profile=profile, threshold=0.0)
+        with pytest.raises(ConfigurationError):
+            DriftDetector(partition=partition, assumed_profile=profile, patience=0)
+        detector = DriftDetector(partition=partition, assumed_profile=profile, rng=0)
+        with pytest.raises(DataError):
+            detector.update(np.zeros((0, 2)))

@@ -1,0 +1,219 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.config import clip01, ensure_rng
+from repro.data import Dataset, GridPartition
+from repro.nn.losses import SoftmaxCrossEntropy
+from repro.nn.metrics import accuracy, confusion_matrix, prediction_margin
+from repro.op import hellinger_distance, js_divergence, kl_divergence, total_variation
+from repro.reliability import BayesianCellModel, BetaPrior
+
+
+# --------------------------------------------------------------------------- #
+# strategies
+# --------------------------------------------------------------------------- #
+finite_floats = st.floats(
+    min_value=-100.0, max_value=100.0, allow_nan=False, allow_infinity=False
+)
+
+distributions = st.integers(min_value=2, max_value=8).flatmap(
+    lambda k: st.lists(
+        st.floats(min_value=1e-6, max_value=1.0, allow_nan=False), min_size=k, max_size=k
+    )
+).map(lambda values: np.asarray(values) / np.sum(values))
+
+
+@st.composite
+def logits_and_labels(draw):
+    n = draw(st.integers(min_value=1, max_value=12))
+    k = draw(st.integers(min_value=2, max_value=6))
+    logits = draw(
+        arrays(np.float64, (n, k), elements=st.floats(-20, 20, allow_nan=False))
+    )
+    labels = draw(arrays(np.int64, (n,), elements=st.integers(0, k - 1)))
+    return logits, labels
+
+
+# --------------------------------------------------------------------------- #
+# config / numerics
+# --------------------------------------------------------------------------- #
+class TestClipProperties:
+    @given(arrays(np.float64, (10,), elements=finite_floats))
+    def test_clip01_bounds(self, values):
+        clipped = clip01(values)
+        assert np.all(clipped >= 0.0) and np.all(clipped <= 1.0)
+
+    @given(arrays(np.float64, (10,), elements=st.floats(0, 1, allow_nan=False)))
+    def test_clip01_identity_inside_domain(self, values):
+        np.testing.assert_allclose(clip01(values), values)
+
+    @given(st.integers(min_value=0, max_value=2**31 - 2))
+    def test_ensure_rng_deterministic(self, seed):
+        assert ensure_rng(seed).random() == ensure_rng(seed).random()
+
+
+# --------------------------------------------------------------------------- #
+# losses and metrics
+# --------------------------------------------------------------------------- #
+class TestLossProperties:
+    @given(logits_and_labels())
+    @settings(max_examples=50, deadline=None)
+    def test_cross_entropy_non_negative(self, data):
+        logits, labels = data
+        loss = SoftmaxCrossEntropy()
+        assert loss.forward(logits, labels) >= 0.0
+
+    @given(logits_and_labels())
+    @settings(max_examples=50, deadline=None)
+    def test_softmax_is_distribution(self, data):
+        logits, _ = data
+        probs = SoftmaxCrossEntropy.softmax(logits)
+        assert np.all(probs >= 0)
+        np.testing.assert_allclose(probs.sum(axis=1), np.ones(len(logits)), atol=1e-9)
+
+    @given(logits_and_labels())
+    @settings(max_examples=30, deadline=None)
+    def test_gradient_rows_sum_to_zero(self, data):
+        logits, labels = data
+        loss = SoftmaxCrossEntropy()
+        loss.forward(logits, labels)
+        grad = loss.backward()
+        np.testing.assert_allclose(grad.sum(axis=1), np.zeros(len(logits)), atol=1e-9)
+
+
+class TestMetricProperties:
+    @given(
+        arrays(np.int64, (20,), elements=st.integers(0, 4)),
+        arrays(np.int64, (20,), elements=st.integers(0, 4)),
+    )
+    def test_accuracy_in_unit_interval(self, y_true, y_pred):
+        assert 0.0 <= accuracy(y_true, y_pred) <= 1.0
+
+    @given(arrays(np.int64, (20,), elements=st.integers(0, 4)))
+    def test_accuracy_reflexive(self, y):
+        assert accuracy(y, y) == 1.0
+
+    @given(
+        arrays(np.int64, (30,), elements=st.integers(0, 3)),
+        arrays(np.int64, (30,), elements=st.integers(0, 3)),
+    )
+    def test_confusion_matrix_total(self, y_true, y_pred):
+        matrix = confusion_matrix(y_true, y_pred, num_classes=4)
+        assert matrix.sum() == 30
+        assert np.all(matrix >= 0)
+
+    @given(st.integers(min_value=1, max_value=20), st.integers(min_value=2, max_value=6))
+    def test_prediction_margin_bounds(self, n, k):
+        rng = np.random.default_rng(n * 100 + k)
+        probs = rng.dirichlet(np.ones(k), size=n)
+        margins = prediction_margin(probs, rng.integers(0, k, n))
+        assert np.all(margins >= -1.0 - 1e-9) and np.all(margins <= 1.0 + 1e-9)
+
+
+# --------------------------------------------------------------------------- #
+# divergences
+# --------------------------------------------------------------------------- #
+class TestDivergenceProperties:
+    @given(distributions, distributions)
+    @settings(max_examples=60, deadline=None)
+    def test_non_negative(self, p, q):
+        if p.shape != q.shape:
+            return
+        assert kl_divergence(p, q) >= -1e-12
+        assert js_divergence(p, q) >= -1e-12
+        assert total_variation(p, q) >= 0.0
+        assert hellinger_distance(p, q) >= 0.0
+
+    @given(distributions)
+    def test_zero_on_self(self, p):
+        assert js_divergence(p, p) == pytest.approx(0.0, abs=1e-9)
+        assert total_variation(p, p) == pytest.approx(0.0, abs=1e-12)
+
+    @given(distributions, distributions)
+    @settings(max_examples=60, deadline=None)
+    def test_symmetry_and_bounds(self, p, q):
+        if p.shape != q.shape:
+            return
+        assert js_divergence(p, q) == pytest.approx(js_divergence(q, p), abs=1e-9)
+        assert total_variation(p, q) <= 1.0 + 1e-12
+        assert hellinger_distance(p, q) <= 1.0 + 1e-9
+        assert js_divergence(p, q) <= np.log(2) + 1e-9
+
+
+# --------------------------------------------------------------------------- #
+# datasets and partitions
+# --------------------------------------------------------------------------- #
+class TestDatasetProperties:
+    @given(
+        st.integers(min_value=4, max_value=40),
+        st.integers(min_value=2, max_value=5),
+        st.integers(min_value=1, max_value=6),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_split_preserves_rows(self, n, num_classes, d):
+        rng = np.random.default_rng(n)
+        dataset = Dataset(rng.random((n, d)), rng.integers(0, num_classes, n), num_classes)
+        train, test = dataset.split(0.3, rng=0)
+        assert len(train) + len(test) == n
+        assert len(train) > 0 and len(test) > 0
+
+    @given(st.integers(min_value=1, max_value=50))
+    @settings(max_examples=30, deadline=None)
+    def test_class_frequencies_sum_to_one(self, n):
+        rng = np.random.default_rng(n)
+        dataset = Dataset(rng.random((n, 2)), rng.integers(0, 3, n), 3)
+        assert dataset.class_frequencies().sum() == pytest.approx(1.0)
+
+
+class TestPartitionProperties:
+    @given(
+        st.integers(min_value=2, max_value=6),
+        arrays(np.float64, (15, 2), elements=st.floats(0, 1, allow_nan=False)),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_assignments_in_range(self, bins, x):
+        partition = GridPartition(2, bins_per_dim=bins)
+        cells = partition.assign(x)
+        assert np.all(cells >= 0) and np.all(cells < partition.num_cells)
+
+    @given(st.integers(min_value=2, max_value=6), st.integers(min_value=0, max_value=35))
+    @settings(max_examples=40, deadline=None)
+    def test_center_round_trip(self, bins, cell_index):
+        partition = GridPartition(2, bins_per_dim=bins)
+        cell_id = cell_index % partition.num_cells
+        assert partition.assign(partition.cell_center(cell_id)[None, :])[0] == cell_id
+
+
+# --------------------------------------------------------------------------- #
+# Bayesian reliability model
+# --------------------------------------------------------------------------- #
+class TestBayesianProperties:
+    @given(
+        st.integers(min_value=0, max_value=500),
+        st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+        st.floats(min_value=0.5, max_value=0.99),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_bounds_are_ordered_and_in_unit_interval(self, trials, failure_rate, confidence):
+        failures = int(round(trials * failure_rate))
+        posterior = BayesianCellModel(BetaPrior(1.0, 9.0)).posterior_for(trials, failures)
+        lower = posterior.lower_bound(confidence)
+        upper = posterior.upper_bound(confidence)
+        assert 0.0 <= lower <= upper <= 1.0
+        assert 0.0 <= posterior.mean <= 1.0
+        # at high confidence the one-sided bounds must bracket the mean
+        if confidence >= 0.9:
+            assert lower <= posterior.mean + 1e-12 <= upper + 0.1
+
+    @given(st.integers(min_value=1, max_value=400))
+    @settings(max_examples=40, deadline=None)
+    def test_more_clean_evidence_tightens_upper_bound(self, trials):
+        model = BayesianCellModel(BetaPrior(1.0, 9.0))
+        small = model.posterior_for(trials, 0).upper_bound(0.95)
+        large = model.posterior_for(trials * 2, 0).upper_bound(0.95)
+        assert large <= small + 1e-12

@@ -1,0 +1,150 @@
+"""Tests for the shared wire types in repro.types."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DataError, ShapeError
+from repro.types import (
+    AdversarialExample,
+    CampaignReport,
+    DetectionResult,
+    IterationReport,
+    LabeledBatch,
+)
+
+
+def _ae(op_density=0.5, naturalness=0.8, queries=3):
+    seed = np.array([0.5, 0.5])
+    return AdversarialExample(
+        seed=seed,
+        perturbed=seed + 0.05,
+        true_label=0,
+        predicted_label=1,
+        distance=0.05,
+        naturalness=naturalness,
+        op_density=op_density,
+        method="test",
+        queries=queries,
+    )
+
+
+class TestLabeledBatch:
+    def test_basic_properties(self):
+        batch = LabeledBatch(np.zeros((4, 3)), np.array([0, 1, 0, 1]))
+        assert len(batch) == 4
+        assert batch.num_features == 3
+
+    def test_rejects_1d_x(self):
+        with pytest.raises(ShapeError):
+            LabeledBatch(np.zeros(4), np.array([0, 1, 0, 1]))
+
+    def test_rejects_2d_y(self):
+        with pytest.raises(ShapeError):
+            LabeledBatch(np.zeros((4, 3)), np.zeros((4, 1)))
+
+    def test_rejects_mismatched_sizes(self):
+        with pytest.raises(DataError):
+            LabeledBatch(np.zeros((4, 3)), np.array([0, 1]))
+
+    def test_subset(self):
+        batch = LabeledBatch(np.arange(12).reshape(4, 3), np.array([0, 1, 2, 3]))
+        sub = batch.subset([1, 3])
+        assert len(sub) == 2
+        np.testing.assert_array_equal(sub.y, [1, 3])
+
+    def test_concat(self):
+        a = LabeledBatch(np.zeros((2, 3)), np.array([0, 1]))
+        b = LabeledBatch(np.ones((3, 3)), np.array([1, 0, 1]))
+        merged = a.concat(b)
+        assert len(merged) == 5
+
+    def test_concat_feature_mismatch(self):
+        a = LabeledBatch(np.zeros((2, 3)), np.array([0, 1]))
+        b = LabeledBatch(np.ones((2, 4)), np.array([0, 1]))
+        with pytest.raises(DataError):
+            a.concat(b)
+
+
+class TestAdversarialExample:
+    def test_perturbation(self):
+        ae = _ae()
+        np.testing.assert_allclose(ae.perturbation(), [0.05, 0.05])
+
+    def test_defaults(self):
+        ae = AdversarialExample(
+            seed=np.zeros(2), perturbed=np.ones(2), true_label=0, predicted_label=1, distance=1.0
+        )
+        assert ae.naturalness is None
+        assert ae.op_density is None
+        assert ae.method == "unknown"
+
+
+class TestDetectionResult:
+    def test_counts_and_rates(self):
+        result = DetectionResult(
+            method="m", adversarial_examples=[_ae(), _ae()], test_cases_used=50, budget=100
+        )
+        assert result.num_detected == 2
+        assert result.detection_rate() == pytest.approx(2 / 50)
+
+    def test_detection_rate_zero_queries(self):
+        assert DetectionResult(method="m").detection_rate() == 0.0
+
+    def test_mean_annotations(self):
+        result = DetectionResult(
+            method="m",
+            adversarial_examples=[_ae(op_density=0.2, naturalness=0.4), _ae(op_density=0.8, naturalness=1.0)],
+        )
+        assert result.mean_op_density() == pytest.approx(0.5)
+        assert result.mean_naturalness() == pytest.approx(0.7)
+
+    def test_mean_annotations_empty(self):
+        result = DetectionResult(method="m")
+        assert result.mean_op_density() == 0.0
+        assert result.mean_naturalness() == 0.0
+
+    def test_operational_weight(self):
+        result = DetectionResult(
+            method="m", adversarial_examples=[_ae(op_density=0.25), _ae(op_density=1.5)]
+        )
+        assert result.operational_weight() == pytest.approx(1.75)
+
+
+class TestReports:
+    def test_iteration_report_improvement(self):
+        report = IterationReport(
+            iteration=0,
+            seeds_selected=10,
+            test_cases_used=100,
+            aes_detected=4,
+            pmi_before=0.10,
+            pmi_after=0.06,
+            operational_accuracy_before=0.90,
+            operational_accuracy_after=0.94,
+            reliability_target=0.05,
+            target_met=False,
+        )
+        assert report.pmi_improvement == pytest.approx(0.04)
+
+    def test_campaign_accumulates(self):
+        campaign = CampaignReport()
+        for i in range(3):
+            campaign.append(
+                IterationReport(
+                    iteration=i,
+                    seeds_selected=5,
+                    test_cases_used=100,
+                    aes_detected=2,
+                    pmi_before=0.1,
+                    pmi_after=0.05 - i * 0.01,
+                    operational_accuracy_before=0.9,
+                    operational_accuracy_after=0.95,
+                    reliability_target=0.02,
+                    target_met=i == 2,
+                )
+            )
+        assert campaign.num_iterations == 3
+        assert campaign.total_test_cases == 300
+        assert campaign.total_aes == 6
+        assert campaign.target_met is True
+        assert campaign.final_pmi == pytest.approx(0.03)
