@@ -11,6 +11,8 @@ substrate it depends on:
 * :mod:`repro.op` — operational-profile modelling, estimation, synthesis, drift (RQ1).
 * :mod:`repro.naturalness` — quantified naturalness / local-OP proxies.
 * :mod:`repro.attacks` — FGSM, PGD and black-box baselines.
+* :mod:`repro.engine` — batched model-query engine (chunking, caching,
+  lock-step population fuzzing).
 * :mod:`repro.sampling` — weight-based seed sampling (RQ2).
 * :mod:`repro.fuzzing` — naturalness-guided operational fuzzer (RQ3).
 * :mod:`repro.retraining` — OP-aware adversarial retraining (RQ4).
@@ -24,6 +26,7 @@ from . import (
     config,
     core,
     data,
+    engine,
     evaluation,
     exceptions,
     fuzzing,
@@ -51,6 +54,7 @@ __all__ = [
     "config",
     "core",
     "data",
+    "engine",
     "evaluation",
     "exceptions",
     "fuzzing",

@@ -189,13 +189,15 @@ class AttackOnUniformSeeds(DetectionMethod):
             selection = UniformSeedSampler().select(pool, model, num_seeds, rng=generator)
             result = attack.run(model, selection.x, selection.y, rng=generator)
             densities = _normalised_density(self.profile, selection.x, operational_data.x)
-            for i in np.flatnonzero(result.success):
+            hits = np.flatnonzero(result.success)
+            # annotate every successful AE with one batched naturalness call
+            hit_naturalness = (
+                np.asarray(self.naturalness.score(result.adversarial_x[hits]), dtype=float)
+                if self.naturalness is not None and len(hits) > 0
+                else None
+            )
+            for position, i in enumerate(hits):
                 perturbed = result.adversarial_x[i]
-                naturalness = (
-                    float(self.naturalness.score(perturbed[None, :])[0])
-                    if self.naturalness is not None
-                    else None
-                )
                 adversarial.append(
                     AdversarialExample(
                         seed=selection.x[i].copy(),
@@ -203,7 +205,11 @@ class AttackOnUniformSeeds(DetectionMethod):
                         true_label=int(selection.y[i]),
                         predicted_label=int(result.predicted_labels[i]),
                         distance=float(np.max(np.abs(perturbed - selection.x[i]))),
-                        naturalness=naturalness,
+                        naturalness=(
+                            float(hit_naturalness[position])
+                            if hit_naturalness is not None
+                            else None
+                        ),
                         op_density=float(densities[i]),
                         method=self.name,
                         queries=int(result.queries_per_seed[i]),
@@ -269,12 +275,13 @@ class OperationalTestingBaseline(DetectionMethod):
         predictions = model.predict(selection.x)
         densities = _normalised_density(self.profile, selection.x, operational_data.x)
         adversarial: List[AdversarialExample] = []
-        for i in np.flatnonzero(predictions != selection.y):
-            naturalness = (
-                float(self.naturalness.score(selection.x[i][None, :])[0])
-                if self.naturalness is not None
-                else None
-            )
+        failures = np.flatnonzero(predictions != selection.y)
+        failure_naturalness = (
+            np.asarray(self.naturalness.score(selection.x[failures]), dtype=float)
+            if self.naturalness is not None and len(failures) > 0
+            else None
+        )
+        for position, i in enumerate(failures):
             adversarial.append(
                 AdversarialExample(
                     seed=selection.x[i].copy(),
@@ -282,7 +289,11 @@ class OperationalTestingBaseline(DetectionMethod):
                     true_label=int(selection.y[i]),
                     predicted_label=int(predictions[i]),
                     distance=0.0,
-                    naturalness=naturalness,
+                    naturalness=(
+                        float(failure_naturalness[position])
+                        if failure_naturalness is not None
+                        else None
+                    ),
                     op_density=float(densities[i]),
                     method=self.name,
                     queries=1,

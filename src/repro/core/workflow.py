@@ -210,6 +210,13 @@ class OperationalTestingLoop:
             "pmi_upper_after": estimate_after.pmi_upper,
             "queries_reliability_assessment": float(estimate_after.queries),
         }
+        if fuzzer.last_query_stats is not None:
+            # batched-engine accounting: how many physical model calls (and
+            # cache hits) the logical fuzzing budget actually cost
+            stats = fuzzer.last_query_stats
+            notes["fuzzer_model_calls"] = float(stats.model_calls + stats.gradient_calls)
+            notes["fuzzer_rows_queried"] = float(stats.rows_queried + stats.gradient_rows)
+            notes["fuzzer_cache_hits"] = float(stats.cache_hits)
         if self.config.reassess_with_monte_carlo:
             notes["mc_operational_accuracy"] = self.assessor.operational_accuracy_monte_carlo(
                 model, operational_data, rng=self._rng

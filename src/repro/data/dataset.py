@@ -150,7 +150,11 @@ class Dataset:
                 count = int(round(len(members) * test_fraction))
                 count = min(max(count, 1 if len(members) > 1 else 0), len(members) - 1)
                 test_indices.extend(members[:count].tolist())
-        else:
+            if not test_indices:
+                # every class is a singleton: stratification cannot give the
+                # test split anything, so fall back to an unstratified draw
+                stratify = False
+        if not stratify:
             order = generator.permutation(n)
             count = max(1, int(round(n * test_fraction)))
             test_indices = order[:count].tolist()

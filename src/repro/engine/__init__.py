@@ -1,0 +1,45 @@
+"""Batched model-query engine: the chassis for scaling the testing loops.
+
+This package turns the repository's hottest control flows — the operational
+fuzzer, the black-box attacks and the reliability evidence collection — from
+"one seed at a time, one query at a time" into batched, cache-aware bulk
+queries:
+
+* :mod:`repro.engine.batching` — :class:`BatchedQueryEngine`, the chunked and
+  optionally memoizing front-end every subsystem funnels its model queries
+  through, with :class:`QueryStats` accounting that separates logical queries
+  from physical model calls.
+* :mod:`repro.engine.population` — :class:`PopulationFuzzEngine`, the
+  lock-step population loop behind the batched operational fuzzer.
+
+Future scaling work (sharding, async dispatch, multi-backend execution)
+plugs in behind the same engine interface.
+"""
+
+from .batching import (
+    DEFAULT_BATCH_SIZE,
+    BatchedQueryEngine,
+    QueryCache,
+    QueryStats,
+    as_query_engine,
+)
+from .population import (
+    MemberOutcome,
+    PopulationFuzzEngine,
+    SeedTask,
+    fitness_from_probs,
+    pick_operator,
+)
+
+__all__ = [
+    "DEFAULT_BATCH_SIZE",
+    "BatchedQueryEngine",
+    "QueryCache",
+    "QueryStats",
+    "as_query_engine",
+    "MemberOutcome",
+    "PopulationFuzzEngine",
+    "SeedTask",
+    "fitness_from_probs",
+    "pick_operator",
+]

@@ -1,7 +1,14 @@
 """Naturalness-guided fuzzing for operational adversarial examples (RQ3)."""
 
-from .fuzzer import FuzzCampaignResult, FuzzerConfig, OperationalFuzzer, SeedFuzzResult
+from .fuzzer import (
+    EXECUTION_MODES,
+    FuzzCampaignResult,
+    FuzzerConfig,
+    OperationalFuzzer,
+    SeedFuzzResult,
+)
 from .mutations import (
+    BatchMutationContext,
     GaussianMutation,
     GradientMutation,
     InterpolationMutation,
@@ -12,6 +19,8 @@ from .mutations import (
 )
 
 __all__ = [
+    "BatchMutationContext",
+    "EXECUTION_MODES",
     "FuzzCampaignResult",
     "FuzzerConfig",
     "OperationalFuzzer",

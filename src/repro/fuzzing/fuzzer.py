@@ -17,6 +17,26 @@ signals:
   staying on the data manifold;
 * the per-seed energy (query budget) is allocated proportionally to the
   seed's operational density, so high-OP cells get searched harder.
+
+Execution model
+---------------
+Two statistically equivalent execution strategies are provided (selected by
+``FuzzerConfig.execution``):
+
+* ``"population"`` (default) — lock-step population fuzzing via
+  :class:`repro.engine.PopulationFuzzEngine`: all live seeds propose each
+  round, proposals are concatenated, and one batched naturalness call plus
+  one batched ``predict_proba`` call service the whole population.  This is
+  the fast path: physical model calls shrink by roughly the population size.
+* ``"sequential"`` — the reference one-seed-at-a-time loop, kept for
+  equivalence testing and as the ground truth for the per-seed semantics.
+
+Both paths draw each seed's randomness from a private generator spawned from
+the campaign RNG, so a seed sees the same proposal stream no matter which
+execution strategy runs it or which other seeds are being fuzzed alongside.
+Either way every model query flows through a :class:`BatchedQueryEngine`, so
+query statistics (and the optional memoizing cache) are always available via
+``OperationalFuzzer.last_query_stats``.
 """
 
 from __future__ import annotations
@@ -27,11 +47,22 @@ from typing import List, Optional, Sequence
 import numpy as np
 from scipy.spatial import cKDTree
 
-from ..config import EPSILON, RngLike, ensure_rng
+from ..config import EPSILON, RngLike, ensure_rng, spawn_rngs
+from ..engine.batching import BatchedQueryEngine, QueryStats, as_query_engine
+from ..engine.population import (
+    PROPOSAL_CAP_FACTOR,
+    PopulationFuzzEngine,
+    SeedTask,
+    fitness_from_probs,
+    pick_operator,
+)
 from ..exceptions import FuzzingError
 from ..naturalness.metrics import NaturalnessScorer
 from ..types import AdversarialExample, Classifier
 from .mutations import MutationContext, MutationOperator, default_operators
+
+#: Valid values of :attr:`FuzzerConfig.execution`.
+EXECUTION_MODES = ("population", "sequential")
 
 
 @dataclass
@@ -67,6 +98,17 @@ class FuzzerConfig:
         a fitness improvement (0 disables early abandonment).  Spending the
         full per-seed budget on seeds whose whole natural neighbourhood is
         robust is exactly the waste the paper wants to avoid.
+    execution:
+        ``"population"`` (batched lock-step fuzzing, the fast default) or
+        ``"sequential"`` (the reference per-seed loop).
+    batch_size:
+        Maximum rows per physical model call in the batched engine.
+    use_query_cache:
+        Memoize ``predict_proba`` results by exact row content.  Results are
+        bit-identical with or without the cache; it only skips duplicate
+        physical calls (re-sampled seeds, re-visited candidates).
+    cache_max_entries:
+        Capacity of the memoizing cache.
     """
 
     epsilon: float = 0.1
@@ -80,6 +122,10 @@ class FuzzerConfig:
     min_energy: float = 0.5
     max_energy: float = 2.0
     stall_limit: int = 8
+    execution: str = "population"
+    batch_size: int = 4096
+    use_query_cache: bool = True
+    cache_max_entries: int = 65536
 
     def __post_init__(self) -> None:
         if self.epsilon <= 0:
@@ -100,6 +146,14 @@ class FuzzerConfig:
             raise FuzzingError("neighbour_count must be non-negative")
         if not 0 < self.min_energy <= self.max_energy:
             raise FuzzingError("need 0 < min_energy <= max_energy")
+        if self.execution not in EXECUTION_MODES:
+            raise FuzzingError(
+                f"execution must be one of {EXECUTION_MODES}, got {self.execution!r}"
+            )
+        if self.batch_size <= 0:
+            raise FuzzingError("batch_size must be positive")
+        if self.cache_max_entries <= 0:
+            raise FuzzingError("cache_max_entries must be positive")
 
 
 @dataclass
@@ -132,6 +186,24 @@ class FuzzCampaignResult:
         if not self.per_seed:
             return 0.0
         return len(self.adversarial_examples) / len(self.per_seed)
+
+    def validate_budget(self, budget: Optional[int]) -> None:
+        """Check the campaign's query-accounting invariants.
+
+        ``total_queries`` must equal the sum of the per-seed counts (it does
+        by construction; re-derived here defensively) and must never exceed
+        the global budget when one was given.
+        """
+        total = int(sum(r.queries for r in self.per_seed))
+        if total != self.total_queries:
+            raise FuzzingError(
+                f"per-seed query accounting is inconsistent: {total} vs "
+                f"{self.total_queries}"
+            )
+        if budget is not None and total > budget:
+            raise FuzzingError(
+                f"campaign spent {total} queries, exceeding the budget of {budget}"
+            )
 
 
 class OperationalFuzzer:
@@ -171,6 +243,8 @@ class OperationalFuzzer:
             else None
         )
         self._pool_tree = cKDTree(self._pool) if self._pool is not None else None
+        #: Query statistics of the most recent campaign (one engine per call).
+        self.last_query_stats: Optional[QueryStats] = None
 
     # ------------------------------------------------------------------ #
     # public API
@@ -189,7 +263,8 @@ class OperationalFuzzer:
         Parameters
         ----------
         model:
-            Model under test.
+            Model under test (or a pre-built :class:`BatchedQueryEngine`
+            wrapping one, whose counters and cache are then shared).
         seeds, labels:
             Operational seeds and their true labels.
         op_densities:
@@ -212,20 +287,99 @@ class OperationalFuzzer:
             if op_densities.shape != (len(seeds),):
                 raise FuzzingError("op_densities must have one entry per seed")
         generator = ensure_rng(rng)
+        cfg = self.config
         energies = self._seed_energies(op_densities, len(seeds))
+        rngs = spawn_rngs(generator, len(seeds))
+        nominal_budgets = [
+            max(1, int(round(cfg.queries_per_seed * energies[i])))
+            for i in range(len(seeds))
+        ]
+        engine = as_query_engine(
+            model,
+            naturalness=self.naturalness,
+            batch_size=cfg.batch_size,
+            cache=cfg.use_query_cache,
+            cache_max_entries=cfg.cache_max_entries,
+        )
+        self.last_query_stats = engine.stats
 
+        if cfg.execution == "sequential":
+            result = self._fuzz_sequential(
+                engine, seeds, labels, op_densities, budget, nominal_budgets, rngs
+            )
+        else:
+            result = self._fuzz_population(
+                engine, seeds, labels, op_densities, budget, nominal_budgets, rngs
+            )
+        result.validate_budget(budget)
+        return result
+
+    # ------------------------------------------------------------------ #
+    # population (batched) execution
+    # ------------------------------------------------------------------ #
+    def _fuzz_population(
+        self,
+        engine: BatchedQueryEngine,
+        seeds: np.ndarray,
+        labels: np.ndarray,
+        op_densities: Optional[np.ndarray],
+        budget: Optional[int],
+        nominal_budgets: List[int],
+        rngs: List[np.random.Generator],
+    ) -> FuzzCampaignResult:
+        neighbours = self._natural_neighbours_batch(seeds)
+        tasks = [
+            SeedTask(
+                index=i,
+                seed=seeds[i],
+                label=int(labels[i]),
+                budget=nominal_budgets[i],
+                density=float(op_densities[i]) if op_densities is not None else None,
+                neighbours=neighbours[i],
+                rng=rngs[i],
+            )
+            for i in range(len(seeds))
+        ]
+        population = PopulationFuzzEngine(engine, self.config, self.operators)
+        outcomes = population.run(tasks, budget=budget)
+        return FuzzCampaignResult(
+            per_seed=[
+                SeedFuzzResult(
+                    seed_index=o.index,
+                    adversarial_example=o.adversarial_example,
+                    queries=o.queries,
+                    best_fitness=o.best_fitness,
+                    candidates_rejected_by_naturalness=o.rejected,
+                )
+                for o in outcomes
+            ]
+        )
+
+    # ------------------------------------------------------------------ #
+    # sequential (reference) execution
+    # ------------------------------------------------------------------ #
+    def _fuzz_sequential(
+        self,
+        engine: BatchedQueryEngine,
+        seeds: np.ndarray,
+        labels: np.ndarray,
+        op_densities: Optional[np.ndarray],
+        budget: Optional[int],
+        nominal_budgets: List[int],
+        rngs: List[np.random.Generator],
+    ) -> FuzzCampaignResult:
         result = FuzzCampaignResult()
         queries_remaining = budget if budget is not None else np.inf
         for index, (seed, label) in enumerate(zip(seeds, labels)):
             if queries_remaining <= 0:
                 break
-            seed_budget = int(round(self.config.queries_per_seed * energies[index]))
+            seed_budget = nominal_budgets[index]
             if np.isfinite(queries_remaining):
                 seed_budget = min(seed_budget, int(queries_remaining))
             seed_budget = max(1, seed_budget)
             density = float(op_densities[index]) if op_densities is not None else None
             seed_result = self._fuzz_one(
-                model, seed, int(label), index, seed_budget, density, generator
+                engine, seed, int(label), index, seed_budget, density, rngs[index]
             )
             queries_remaining -= seed_result.queries
             result.per_seed.append(seed_result)
@@ -251,33 +405,21 @@ class OperationalFuzzer:
         indices = np.atleast_1d(indices)
         return self._pool[indices]
 
-    def _pick_operator(
-        self,
-        directed: List[MutationOperator],
-        undirected: List[MutationOperator],
-        generator: np.random.Generator,
-    ) -> MutationOperator:
-        """Pick a mutation operator, biasing towards the gradient operator."""
-        if directed and (
-            not undirected or generator.random() < self.config.gradient_probability
-        ):
-            return directed[generator.integers(len(directed))]
-        if undirected:
-            return undirected[generator.integers(len(undirected))]
-        return self.operators[generator.integers(len(self.operators))]
-
-    def _fitness_from_probs(
-        self, probs: np.ndarray, label: int, naturalness: float
-    ) -> float:
-        loss = -np.log(max(float(probs[label]), EPSILON))
-        return (
-            self.config.loss_weight * loss
-            + self.config.naturalness_weight * float(np.log(max(naturalness, EPSILON)))
-        )
+    def _natural_neighbours_batch(
+        self, seeds: np.ndarray
+    ) -> List[Optional[np.ndarray]]:
+        """Natural neighbours of every seed from one vectorised KD-tree query."""
+        if self._pool_tree is None or self.config.neighbour_count == 0:
+            return [None] * len(seeds)
+        k = min(self.config.neighbour_count, len(self._pool))
+        _, indices = self._pool_tree.query(seeds, k=k)
+        # cKDTree squeezes the k axis when k == 1; restore (n, k)
+        indices = np.asarray(indices).reshape(len(seeds), -1)
+        return [self._pool[row] for row in indices]
 
     def _fuzz_one(
         self,
-        model: Classifier,
+        engine: BatchedQueryEngine,
         seed: np.ndarray,
         label: int,
         seed_index: int,
@@ -286,19 +428,18 @@ class OperationalFuzzer:
         generator: np.random.Generator,
     ) -> SeedFuzzResult:
         cfg = self.config
-        seed_naturalness = float(self.naturalness.score(seed[None, :])[0])
+        seed_naturalness = float(engine.score_naturalness(seed[None, :])[0])
         naturalness_floor = cfg.naturalness_threshold * seed_naturalness
         neighbours = self._natural_neighbours(seed)
 
         queries = 0
         rejected = 0
         current = seed.copy()
-        current_naturalness = seed_naturalness
         best_fitness = -np.inf
         found: Optional[AdversarialExample] = None
 
         # the seed itself may already be misclassified (a "natural failure")
-        prediction = int(model.predict(seed[None, :])[0])
+        prediction = int(engine.predict(seed[None, :])[0])
         queries += 1
         if prediction != label:
             found = AdversarialExample(
@@ -318,18 +459,20 @@ class OperationalFuzzer:
         undirected = [op for op in self.operators if not op.queries_model]
         stalled = 0
         proposals = 0
-        max_proposals = 5 * seed_budget  # rejected proposals cost no queries; bound them anyway
+        max_proposals = PROPOSAL_CAP_FACTOR * seed_budget
         while queries < seed_budget and proposals < max_proposals:
-            if self.config.stall_limit and stalled >= self.config.stall_limit:
+            if cfg.stall_limit and stalled >= cfg.stall_limit:
                 break
             proposals += 1
-            operator = self._pick_operator(directed, undirected, generator)
+            operator = pick_operator(
+                directed, undirected, self.operators, cfg.gradient_probability, generator
+            )
             context = MutationContext(
                 seed=seed,
                 current=current,
                 label=label,
                 epsilon=cfg.epsilon,
-                model=model,
+                model=engine,
                 natural_neighbours=neighbours,
                 rng=generator,
             )
@@ -338,14 +481,14 @@ class OperationalFuzzer:
                 queries += 1
                 if queries >= seed_budget:
                     break
-            candidate_naturalness = float(self.naturalness.score(candidate[None, :])[0])
+            candidate_naturalness = float(engine.score_naturalness(candidate[None, :])[0])
             if cfg.naturalness_threshold > 0 and candidate_naturalness < naturalness_floor:
                 rejected += 1
                 stalled += 1
                 continue
 
             # a single forward pass yields both the verdict and the fitness
-            probs = model.predict_proba(candidate[None, :])[0]
+            probs = engine.predict_proba(candidate[None, :])[0]
             prediction = int(np.argmax(probs))
             queries += 1
             if prediction != label:
@@ -363,11 +506,12 @@ class OperationalFuzzer:
                 )
                 break
 
-            fitness = self._fitness_from_probs(probs, label, candidate_naturalness)
+            fitness = fitness_from_probs(
+                probs, label, candidate_naturalness, cfg.loss_weight, cfg.naturalness_weight
+            )
             if fitness > best_fitness:
                 best_fitness = fitness
                 current = candidate
-                current_naturalness = candidate_naturalness
                 stalled = 0
             else:
                 stalled += 1
@@ -382,6 +526,7 @@ class OperationalFuzzer:
 
 
 __all__ = [
+    "EXECUTION_MODES",
     "FuzzerConfig",
     "OperationalFuzzer",
     "FuzzCampaignResult",

@@ -12,7 +12,7 @@ is realised mechanically.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import List, Optional, Sequence
 
 import numpy as np
 
@@ -53,6 +53,37 @@ class MutationContext:
     rng: np.random.Generator
 
 
+@dataclass
+class BatchMutationContext:
+    """Lock-step variant of :class:`MutationContext` covering many seeds.
+
+    One row per live population member.  ``rngs`` carries each member's
+    private random stream, so a member's proposal sequence is independent of
+    which other members happen to be alive in the same round — this is what
+    keeps the batched fuzzer statistically equivalent to the sequential one.
+    """
+
+    seeds: np.ndarray
+    currents: np.ndarray
+    labels: np.ndarray
+    epsilon: float
+    model: Classifier
+    natural_neighbours: List[Optional[np.ndarray]]
+    rngs: Sequence[np.random.Generator]
+
+    def row(self, i: int) -> MutationContext:
+        """View row ``i`` as a single-seed mutation context."""
+        return MutationContext(
+            seed=self.seeds[i],
+            current=self.currents[i],
+            label=int(self.labels[i]),
+            epsilon=self.epsilon,
+            model=self.model,
+            natural_neighbours=self.natural_neighbours[i],
+            rng=self.rngs[i],
+        )
+
+
 class MutationOperator:
     """Base class for mutation operators."""
 
@@ -63,6 +94,17 @@ class MutationOperator:
     def propose(self, context: MutationContext) -> np.ndarray:
         """Return a new candidate derived from ``context.current``."""
         raise NotImplementedError
+
+    def propose_batch(self, context: BatchMutationContext) -> np.ndarray:
+        """Return one candidate per row of ``context.currents``.
+
+        The default delegates to :meth:`propose` row by row, drawing from
+        each row's own generator; operators whose proposals touch the model
+        override this to issue a single batched call instead.
+        """
+        return np.stack(
+            [self.propose(context.row(i)) for i in range(len(context.currents))]
+        )
 
     @staticmethod
     def _project(candidate: np.ndarray, seed: np.ndarray, epsilon: float) -> np.ndarray:
@@ -151,6 +193,15 @@ class GradientMutation(MutationOperator):
         candidate = context.current + step * np.sign(gradient)
         return self._project(candidate, context.seed, context.epsilon)
 
+    def propose_batch(self, context: BatchMutationContext) -> np.ndarray:
+        # one physical gradient call for the whole population; the batch-mean
+        # scaling of the gradient is irrelevant under np.sign, so each row is
+        # the same step the sequential single-row call would have taken
+        gradient = context.model.loss_input_gradient(context.currents, context.labels)
+        step = context.epsilon * self.step_fraction
+        candidates = context.currents + step * np.sign(gradient)
+        return self._project(candidates, context.seeds, context.epsilon)
+
 
 def default_operators(use_gradient: bool = True) -> list[MutationOperator]:
     """The default operator mix used by the operational fuzzer."""
@@ -165,6 +216,7 @@ def default_operators(use_gradient: bool = True) -> list[MutationOperator]:
 
 
 __all__ = [
+    "BatchMutationContext",
     "MutationContext",
     "MutationOperator",
     "GaussianMutation",

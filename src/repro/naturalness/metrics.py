@@ -180,10 +180,13 @@ class CompositeNaturalness(NaturalnessScorer):
 
     def score(self, x: np.ndarray) -> np.ndarray:
         self._require_fitted()
-        log_scores = np.zeros(len(np.atleast_2d(x)))
-        for weight, scorer in zip(self.weights, self.scorers):
-            log_scores = log_scores + weight * np.log(np.maximum(scorer.score(x), EPSILON))
-        return np.exp(log_scores)
+        # convert once, then fold every scorer's log-scores in a single
+        # weighted matrix product instead of accumulating python-side
+        x = np.atleast_2d(np.asarray(x, dtype=float))
+        log_scores = np.log(
+            np.maximum(np.stack([scorer.score(x) for scorer in self.scorers]), EPSILON)
+        )
+        return np.exp(self.weights @ log_scores)
 
     @property
     def is_fitted(self) -> bool:

@@ -43,7 +43,15 @@ class Sequential:
     # ------------------------------------------------------------------ #
     def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
         """Run the full forward pass and return the final layer output (logits)."""
-        out = np.asarray(x, dtype=DEFAULT_DTYPE)
+        if (
+            isinstance(x, np.ndarray)
+            and x.dtype == DEFAULT_DTYPE
+            and x.flags["C_CONTIGUOUS"]
+        ):
+            out = x
+        else:
+            # one conversion that also guarantees contiguity for the matmuls
+            out = np.ascontiguousarray(x, dtype=DEFAULT_DTYPE)
         if out.ndim == 1:
             out = out[None, :]
         for layer in self.layers:

@@ -131,6 +131,9 @@ class ReliabilityAssessor:
         One-sided credible level of the reported bounds.
     op_samples:
         Monte Carlo samples used to discretise the profile onto the partition.
+    batch_size:
+        Rows per physical model call when collecting evidence (threaded into
+        the default evaluator and the Monte Carlo estimator).
     """
 
     def __init__(
@@ -141,16 +144,22 @@ class ReliabilityAssessor:
         prior: Optional[BetaPrior] = None,
         confidence: float = 0.90,
         op_samples: int = 4096,
+        batch_size: int = 4096,
         rng: RngLike = None,
     ) -> None:
         if not 0 < confidence < 1:
             raise ReliabilityError("confidence must be in (0, 1)")
+        if batch_size <= 0:
+            raise ReliabilityError("batch_size must be positive")
         self.partition = partition
         self.profile = profile
+        self.batch_size = batch_size
         self.evaluator = (
             evaluator
             if evaluator is not None
-            else CellRobustnessEvaluator(partition, samples_per_cell=10)
+            else CellRobustnessEvaluator(
+                partition, samples_per_cell=10, batch_size=batch_size
+            )
         )
         self.bayes = BayesianCellModel(prior=prior)
         self.confidence = confidence
@@ -228,12 +237,15 @@ class ReliabilityAssessor:
             raise ReliabilityError("num_samples must be positive")
         from scipy.spatial import cKDTree
 
+        from ..engine.batching import as_query_engine
+
         generator = ensure_rng(rng or self._rng)
         samples = self.profile.sample(num_samples, generator)
         tree = cKDTree(reference.x)
         _, indices = tree.query(samples)
         labels = reference.y[indices]
-        return accuracy(labels, model.predict(samples))
+        engine = as_query_engine(model, batch_size=self.batch_size)
+        return accuracy(labels, np.asarray(engine.predict(samples)))
 
     def identify_weak_cells(
         self, table: CellEvidenceTable, top_k: int = 10

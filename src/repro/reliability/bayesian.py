@@ -59,10 +59,19 @@ class CellPosterior:
         return float(stats.beta.ppf(confidence, self.alpha, self.beta))
 
     def lower_bound(self, confidence: float = 0.95) -> float:
-        """Lower credible bound at the given one-sided confidence level."""
+        """Lower credible bound at the given one-sided confidence level.
+
+        For ``confidence`` within float noise of 0.5 the two one-sided
+        quantiles coincide; ``ppf`` is not strictly monotone at machine
+        precision there, so the result is capped at the upper bound to keep
+        ``lower <= upper`` always true.
+        """
         if not 0.0 < confidence < 1.0:
             raise ReliabilityError("confidence must be in (0, 1)")
-        return float(stats.beta.ppf(1.0 - confidence, self.alpha, self.beta))
+        lower = float(stats.beta.ppf(1.0 - confidence, self.alpha, self.beta))
+        if 0.5 <= confidence <= 0.5 + 1e-9:
+            lower = min(lower, float(stats.beta.ppf(confidence, self.alpha, self.beta)))
+        return lower
 
 
 class BayesianCellModel:

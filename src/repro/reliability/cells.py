@@ -136,13 +136,17 @@ class CellRobustnessEvaluator:
         samples_per_cell: int = 10,
         perturbation_radius: Optional[float] = None,
         include_center: bool = True,
+        batch_size: int = 4096,
     ) -> None:
         if samples_per_cell <= 0:
             raise ReliabilityError("samples_per_cell must be positive")
+        if batch_size <= 0:
+            raise ReliabilityError("batch_size must be positive")
         self.partition = partition
         self.samples_per_cell = samples_per_cell
         self.perturbation_radius = perturbation_radius
         self.include_center = include_center
+        self.batch_size = batch_size
 
     def evaluate(
         self,
@@ -166,12 +170,20 @@ class CellRobustnessEvaluator:
         """
         if len(reference) == 0:
             raise ReliabilityError("reference dataset must not be empty")
+        from ..engine.batching import as_query_engine
+
         generator = ensure_rng(rng)
+        engine = as_query_engine(model, batch_size=self.batch_size)
         assignments = self.partition.assign(reference.x)
         table = CellEvidenceTable(partition=self.partition)
 
         if cell_ids is None:
             cell_ids = np.unique(assignments)
+
+        # draw every cell's test points first (same RNG stream as the old
+        # per-cell loop), then classify them all in one chunked pass
+        pending: List[np.ndarray] = []
+        metas: List[tuple] = []  # (cell_id, label, support, num_points)
         for cell_id in np.asarray(cell_ids, dtype=int):
             members = np.flatnonzero(assignments == cell_id)
             if len(members) == 0:
@@ -179,22 +191,37 @@ class CellRobustnessEvaluator:
                 continue
             labels = reference.y[members]
             label = int(np.bincount(labels).argmax())
-            evidence = self._evaluate_cell(
-                model, reference.x[members], label, int(cell_id), generator
+            test_points = self._cell_test_points(
+                reference.x[members], int(cell_id), generator
             )
-            evidence.support = len(members)
-            table.add(evidence)
-            table.queries += evidence.trials
+            pending.append(test_points)
+            metas.append((int(cell_id), label, len(members), len(test_points)))
+
+        if pending:
+            predictions = np.asarray(engine.predict(np.concatenate(pending, axis=0)))
+            offset = 0
+            for cell_id, label, support, num_points in metas:
+                cell_predictions = predictions[offset : offset + num_points]
+                offset += num_points
+                table.add(
+                    CellEvidence(
+                        cell_id=cell_id,
+                        label=label,
+                        trials=num_points,
+                        failures=int(np.sum(cell_predictions != label)),
+                        support=support,
+                    )
+                )
+                table.queries += num_points
         return table
 
-    def _evaluate_cell(
+    def _cell_test_points(
         self,
-        model: Classifier,
         anchors: np.ndarray,
-        label: int,
         cell_id: int,
         generator: np.random.Generator,
-    ) -> CellEvidence:
+    ) -> np.ndarray:
+        """Sample the test points of one cell (anchors plus perturbed draws)."""
         radius = (
             self.perturbation_radius
             if self.perturbation_radius is not None
@@ -206,15 +233,7 @@ class CellRobustnessEvaluator:
         picks = generator.integers(0, len(anchors), size=self.samples_per_cell)
         noise = generator.uniform(-radius, radius, size=(self.samples_per_cell, anchors.shape[1]))
         candidates.append(np.clip(anchors[picks] + noise, 0.0, 1.0))
-        test_points = np.concatenate(candidates, axis=0)
-        predictions = model.predict(test_points)
-        failures = int(np.sum(predictions != label))
-        return CellEvidence(
-            cell_id=cell_id,
-            label=label,
-            trials=len(test_points),
-            failures=failures,
-        )
+        return np.concatenate(candidates, axis=0)
 
 
 __all__ = ["CellEvidence", "CellEvidenceTable", "CellRobustnessEvaluator"]

@@ -1,0 +1,293 @@
+"""Tests for the batched query engine and lock-step population fuzzing."""
+
+import numpy as np
+import pytest
+
+from repro.engine import (
+    BatchedQueryEngine,
+    QueryCache,
+    as_query_engine,
+)
+from repro.exceptions import ConfigurationError, FuzzingError
+from repro.fuzzing import FuzzerConfig, OperationalFuzzer
+
+
+@pytest.fixture()
+def engine_inputs(operational_cluster_data):
+    data = operational_cluster_data
+    return data.x[:32], data.y[:32]
+
+
+class TestBatchedQueryEngine:
+    def test_chunked_predict_proba_matches_direct(self, trained_cluster_model, engine_inputs):
+        x, _ = engine_inputs
+        direct = trained_cluster_model.predict_proba(x)
+        engine = BatchedQueryEngine(trained_cluster_model, batch_size=5)
+        chunked = engine.predict_proba(x)
+        np.testing.assert_allclose(chunked, direct, rtol=1e-12)
+        assert engine.stats.rows_queried == len(x)
+        assert engine.stats.model_calls == int(np.ceil(len(x) / 5))
+
+    def test_predict_matches_model(self, trained_cluster_model, engine_inputs):
+        x, _ = engine_inputs
+        engine = BatchedQueryEngine(trained_cluster_model, batch_size=7)
+        np.testing.assert_array_equal(engine.predict(x), trained_cluster_model.predict(x))
+
+    def test_chunked_gradient_sign_matches_direct(self, trained_cluster_model, engine_inputs):
+        x, y = engine_inputs
+        engine = BatchedQueryEngine(trained_cluster_model, batch_size=4)
+        chunked = engine.loss_input_gradient(x, y)
+        # chunking changes the batch-mean scaling, never the direction
+        per_row = np.stack(
+            [
+                trained_cluster_model.loss_input_gradient(x[i][None, :], [y[i]])[0]
+                for i in range(len(x))
+            ]
+        )
+        np.testing.assert_array_equal(np.sign(chunked), np.sign(per_row))
+        assert engine.stats.gradient_rows == len(x)
+        assert engine.stats.gradient_calls == int(np.ceil(len(x) / 4))
+
+    def test_cache_answers_repeat_rows(self, trained_cluster_model, engine_inputs):
+        x, _ = engine_inputs
+        engine = BatchedQueryEngine(trained_cluster_model, batch_size=64, cache=True)
+        first = engine.predict_proba(x)
+        calls_after_first = engine.stats.model_calls
+        second = engine.predict_proba(x)
+        np.testing.assert_array_equal(first, second)
+        assert engine.stats.model_calls == calls_after_first  # no new physical calls
+        assert engine.stats.cache_hits == len(x)
+
+    def test_cache_eviction_is_bounded(self):
+        cache = QueryCache(max_entries=3)
+        rows = np.eye(4)
+        for row in rows:
+            cache.put(row, row)
+        assert len(cache) == 3
+        assert cache.get(rows[0]) is None  # oldest entry evicted
+        assert cache.get(rows[3]) is not None
+
+    def test_naturalness_scoring_chunked(self, trained_cluster_model, cluster_naturalness, engine_inputs):
+        x, _ = engine_inputs
+        engine = BatchedQueryEngine(
+            trained_cluster_model, naturalness=cluster_naturalness, batch_size=6
+        )
+        scores = engine.score_naturalness(x)
+        np.testing.assert_allclose(scores, cluster_naturalness.score(x), rtol=1e-12)
+        assert engine.stats.naturalness_calls == int(np.ceil(len(x) / 6))
+
+    def test_score_naturalness_requires_scorer(self, trained_cluster_model, engine_inputs):
+        x, _ = engine_inputs
+        engine = BatchedQueryEngine(trained_cluster_model)
+        with pytest.raises(ConfigurationError):
+            engine.score_naturalness(x)
+
+    def test_as_query_engine_is_idempotent(self, trained_cluster_model):
+        engine = BatchedQueryEngine(trained_cluster_model, batch_size=11)
+        assert as_query_engine(engine) is engine
+        wrapped = as_query_engine(trained_cluster_model)
+        assert isinstance(wrapped, BatchedQueryEngine)
+        assert wrapped.model is trained_cluster_model
+
+    def test_invalid_configuration(self, trained_cluster_model):
+        with pytest.raises(ConfigurationError):
+            BatchedQueryEngine(trained_cluster_model, batch_size=0)
+        with pytest.raises(ConfigurationError):
+            QueryCache(max_entries=0)
+
+
+def _make_fuzzer(cluster_naturalness, pool, execution, **overrides):
+    defaults = dict(
+        epsilon=0.12,
+        queries_per_seed=25,
+        naturalness_threshold=0.3,
+        execution=execution,
+    )
+    defaults.update(overrides)
+    return OperationalFuzzer(
+        naturalness=cluster_naturalness,
+        config=FuzzerConfig(**defaults),
+        natural_pool=pool,
+    )
+
+
+class TestPopulationSequentialEquivalence:
+    """The batched population path must match the sequential reference."""
+
+    def test_unbudgeted_campaigns_are_identical(
+        self, trained_cluster_model, cluster_naturalness, operational_cluster_data
+    ):
+        data = operational_cluster_data
+        seeds, labels = data.x[:16], data.y[:16]
+        campaigns = {}
+        for mode in ("population", "sequential"):
+            fuzzer = _make_fuzzer(cluster_naturalness, data.x, mode)
+            campaigns[mode] = fuzzer.fuzz(trained_cluster_model, seeds, labels, rng=0)
+        population, sequential = campaigns["population"], campaigns["sequential"]
+        assert len(population.per_seed) == len(sequential.per_seed)
+        for p, s in zip(population.per_seed, sequential.per_seed):
+            assert p.seed_index == s.seed_index
+            assert p.queries == s.queries
+            assert (p.adversarial_example is None) == (s.adversarial_example is None)
+            if p.adversarial_example is not None:
+                np.testing.assert_allclose(
+                    p.adversarial_example.perturbed,
+                    s.adversarial_example.perturbed,
+                    rtol=1e-9,
+                    atol=1e-12,
+                )
+        assert population.total_queries == sequential.total_queries
+
+    def test_natural_failures_found_identically(
+        self, trained_cluster_model, cluster_naturalness, operational_cluster_data
+    ):
+        data = operational_cluster_data
+        predictions = trained_cluster_model.predict(data.x)
+        wrong = np.flatnonzero(predictions != data.y)
+        if len(wrong) == 0:
+            pytest.skip("model has no natural failures on the operational data")
+        seeds, labels = data.x[wrong[:4]], data.y[wrong[:4]]
+        for mode in ("population", "sequential"):
+            fuzzer = _make_fuzzer(cluster_naturalness, data.x, mode)
+            campaign = fuzzer.fuzz(trained_cluster_model, seeds, labels, rng=3)
+            assert campaign.detection_rate == 1.0
+            for result in campaign.per_seed:
+                assert result.queries == 1
+                assert result.adversarial_example.distance == 0.0
+
+    def test_natural_failure_waves_do_not_strand_waitlist(
+        self, trained_cluster_model, cluster_naturalness, operational_cluster_data
+    ):
+        # when a whole admission wave retires as natural failures (1 query
+        # each), the refunded budget must keep admitting waitlisted seeds —
+        # exactly like the sequential loop does
+        data = operational_cluster_data
+        predictions = trained_cluster_model.predict(data.x)
+        wrong = np.flatnonzero(predictions != data.y)
+        if len(wrong) < 6:
+            pytest.skip("not enough natural failures in the scenario")
+        seeds, labels = data.x[wrong[:6]], data.y[wrong[:6]]
+        counts = {}
+        for mode in ("population", "sequential"):
+            fuzzer = _make_fuzzer(cluster_naturalness, data.x, mode, queries_per_seed=5)
+            campaign = fuzzer.fuzz(
+                trained_cluster_model, seeds, labels, budget=6, rng=0
+            )
+            counts[mode] = (len(campaign.per_seed), campaign.total_queries)
+        assert counts["population"] == counts["sequential"] == (6, 6)
+
+    def test_detection_rate_comparable_under_budget(
+        self, trained_cluster_model, cluster_naturalness, operational_cluster_data
+    ):
+        data = operational_cluster_data
+        seeds, labels = data.x[:20], data.y[:20]
+        rates = {}
+        for mode in ("population", "sequential"):
+            fuzzer = _make_fuzzer(cluster_naturalness, data.x, mode)
+            campaign = fuzzer.fuzz(
+                trained_cluster_model, seeds, labels, budget=300, rng=1
+            )
+            rates[mode] = campaign.detection_rate
+        # admission order differs slightly under a shared budget, but the
+        # batched path must remain a comparable detector
+        assert rates["population"] >= rates["sequential"] - 0.15
+
+    def test_population_uses_far_fewer_model_calls(
+        self, trained_cluster_model, cluster_naturalness, operational_cluster_data
+    ):
+        data = operational_cluster_data
+        seeds, labels = data.x[:16], data.y[:16]
+        calls = {}
+        for mode in ("population", "sequential"):
+            fuzzer = _make_fuzzer(
+                cluster_naturalness, data.x, mode, use_query_cache=False
+            )
+            fuzzer.fuzz(trained_cluster_model, seeds, labels, rng=0)
+            stats = fuzzer.last_query_stats
+            calls[mode] = stats.model_calls + stats.gradient_calls
+        assert calls["population"] * 5 <= calls["sequential"]
+
+
+class TestBudgetInvariants:
+    """Campaign query accounting: never exceed the budget, always consistent."""
+
+    @pytest.mark.parametrize("execution", ["population", "sequential"])
+    @pytest.mark.parametrize("budget", [1, 37, 150, 10_000])
+    def test_total_queries_never_exceed_budget(
+        self,
+        execution,
+        budget,
+        trained_cluster_model,
+        cluster_naturalness,
+        operational_cluster_data,
+    ):
+        data = operational_cluster_data
+        fuzzer = _make_fuzzer(cluster_naturalness, data.x, execution)
+        campaign = fuzzer.fuzz(
+            trained_cluster_model, data.x[:30], data.y[:30], budget=budget, rng=5
+        )
+        total = campaign.total_queries
+        assert total <= budget
+        assert total == sum(r.queries for r in campaign.per_seed)
+        campaign.validate_budget(budget)  # must not raise
+
+    @pytest.mark.parametrize("execution", ["population", "sequential"])
+    def test_per_seed_queries_respect_energy_budgets(
+        self,
+        execution,
+        trained_cluster_model,
+        cluster_naturalness,
+        operational_cluster_data,
+    ):
+        data = operational_cluster_data
+        config = FuzzerConfig(
+            queries_per_seed=12, stall_limit=0, execution=execution
+        )
+        fuzzer = OperationalFuzzer(
+            naturalness=cluster_naturalness, config=config, natural_pool=data.x
+        )
+        campaign = fuzzer.fuzz(trained_cluster_model, data.x[:10], data.y[:10], rng=2)
+        for result in campaign.per_seed:
+            assert result.queries <= 2 * config.queries_per_seed  # max_energy bound
+
+    def test_validate_budget_flags_overspend(self):
+        from repro.fuzzing import FuzzCampaignResult, SeedFuzzResult
+
+        campaign = FuzzCampaignResult(
+            per_seed=[SeedFuzzResult(0, None, queries=10, best_fitness=0.0,
+                                     candidates_rejected_by_naturalness=0)]
+        )
+        with pytest.raises(FuzzingError):
+            campaign.validate_budget(5)
+        campaign.validate_budget(10)  # exact spend is fine
+        campaign.validate_budget(None)  # unbudgeted campaigns always pass
+
+
+class TestFuzzerConfigEngineKnobs:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"execution": "warp"},
+            {"batch_size": 0},
+            {"cache_max_entries": 0},
+        ],
+    )
+    def test_invalid_engine_knobs(self, kwargs):
+        with pytest.raises(FuzzingError):
+            FuzzerConfig(**kwargs)
+
+    def test_cache_does_not_change_results(
+        self, trained_cluster_model, cluster_naturalness, operational_cluster_data
+    ):
+        data = operational_cluster_data
+        campaigns = {}
+        for use_cache in (True, False):
+            fuzzer = _make_fuzzer(
+                cluster_naturalness, data.x, "population", use_query_cache=use_cache
+            )
+            campaigns[use_cache] = fuzzer.fuzz(
+                trained_cluster_model, data.x[:12], data.y[:12], rng=7
+            )
+        cached, uncached = campaigns[True], campaigns[False]
+        assert cached.total_queries == uncached.total_queries
+        assert len(cached.adversarial_examples) == len(uncached.adversarial_examples)

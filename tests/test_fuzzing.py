@@ -258,3 +258,37 @@ class TestOperationalFuzzer:
     def test_requires_at_least_one_operator(self, cluster_naturalness):
         with pytest.raises(FuzzingError):
             OperationalFuzzer(naturalness=cluster_naturalness, operators=[])
+
+    @pytest.mark.parametrize("execution", ["population", "sequential"])
+    @pytest.mark.parametrize("neighbour_count", [0, 1, 5])
+    def test_neighbour_count_edge_cases(
+        self,
+        execution,
+        neighbour_count,
+        trained_cluster_model,
+        cluster_naturalness,
+        operational_cluster_data,
+    ):
+        # k=1 squeezes the cKDTree result axis; both paths must survive it
+        data = operational_cluster_data
+        fuzzer = OperationalFuzzer(
+            naturalness=cluster_naturalness,
+            config=FuzzerConfig(
+                queries_per_seed=8, neighbour_count=neighbour_count, execution=execution
+            ),
+            natural_pool=data.x,
+        )
+        result = fuzzer.fuzz(trained_cluster_model, data.x[:4], data.y[:4], rng=0)
+        assert len(result.per_seed) == 4
+
+    def test_single_row_natural_pool(
+        self, trained_cluster_model, cluster_naturalness, operational_cluster_data
+    ):
+        data = operational_cluster_data
+        fuzzer = OperationalFuzzer(
+            naturalness=cluster_naturalness,
+            config=FuzzerConfig(queries_per_seed=8),
+            natural_pool=data.x[:1],
+        )
+        result = fuzzer.fuzz(trained_cluster_model, data.x[:3], data.y[:3], rng=0)
+        assert len(result.per_seed) == 3
