@@ -86,6 +86,31 @@ class Attack:
     # ------------------------------------------------------------------ #
     # shared helpers
     # ------------------------------------------------------------------ #
+    def _engine_session(self, model: Classifier):
+        """Query-engine session honouring the attack's engine knobs.
+
+        Black-box attacks set ``batch_size`` / ``engine`` / ``num_workers``
+        in their constructors; attacks without the knobs (the white-box
+        gradient attacks query the model directly) fall back to an
+        in-process engine.  The returned context manager closes engines it
+        created and passes pre-built engines through untouched.
+        """
+        from ..engine.batching import DEFAULT_BATCH_SIZE
+        from ..engine.parallel import query_engine_session
+
+        return query_engine_session(
+            model,
+            batch_size=getattr(self, "batch_size", DEFAULT_BATCH_SIZE),
+            engine=getattr(self, "engine", "batched"),
+            num_workers=getattr(self, "num_workers", 1),
+        )
+
+    @staticmethod
+    def _validate_engine_knobs(engine: str, num_workers: int) -> None:
+        from ..engine.parallel import validate_engine_knobs
+
+        validate_engine_knobs(engine, num_workers, exception=AttackError)
+
     @staticmethod
     def _validate_batch(x: np.ndarray, y: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
         x = np.atleast_2d(np.asarray(x, dtype=float))

@@ -10,7 +10,9 @@ matrices are generated up front and serviced by a handful of chunked
 ``predict`` calls through the :class:`repro.engine.BatchedQueryEngine`, while
 the reported per-seed query counts remain exactly what the trial-by-trial
 loop would have charged (a seed stops being billed at its first hit when the
-attack early-stops).
+attack early-stops).  The ``engine``/``num_workers`` knobs select the
+execution backend for those physical calls (``"sharded"`` fans chunks out
+across worker processes with bit-identical results).
 """
 
 from __future__ import annotations
@@ -18,7 +20,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..config import RngLike, ensure_rng
-from ..engine.batching import DEFAULT_BATCH_SIZE, as_query_engine
+from ..engine.batching import DEFAULT_BATCH_SIZE
 from ..exceptions import AttackError
 from ..types import Classifier
 from .base import Attack, AttackResult
@@ -37,6 +39,11 @@ class RandomFuzz(Attack):
         Stop billing a seed as soon as a misclassification is found.
     batch_size:
         Rows per physical model call when evaluating the trial matrix.
+    engine:
+        Execution backend for the physical calls (``"batched"`` in-process,
+        ``"sharded"`` across worker processes — results are bit-identical).
+    num_workers:
+        Worker processes used by the sharded backend.
     """
 
     name = "random-fuzz"
@@ -47,15 +54,20 @@ class RandomFuzz(Attack):
         num_trials: int = 20,
         early_stop: bool = True,
         batch_size: int = DEFAULT_BATCH_SIZE,
+        engine: str = "batched",
+        num_workers: int = 1,
     ) -> None:
         super().__init__(epsilon)
         if num_trials <= 0:
             raise AttackError("num_trials must be positive")
         if batch_size <= 0:
             raise AttackError("batch_size must be positive")
+        self._validate_engine_knobs(engine, num_workers)
         self.num_trials = num_trials
         self.early_stop = early_stop
         self.batch_size = batch_size
+        self.engine = engine
+        self.num_workers = num_workers
 
     def run(
         self,
@@ -93,6 +105,8 @@ class GaussianNoise(Attack):
         std_fraction: float = 0.5,
         num_trials: int = 10,
         batch_size: int = DEFAULT_BATCH_SIZE,
+        engine: str = "batched",
+        num_workers: int = 1,
     ) -> None:
         super().__init__(epsilon)
         if not 0 < std_fraction <= 1:
@@ -101,9 +115,12 @@ class GaussianNoise(Attack):
             raise AttackError("num_trials must be positive")
         if batch_size <= 0:
             raise AttackError("batch_size must be positive")
+        self._validate_engine_knobs(engine, num_workers)
         self.std_fraction = std_fraction
         self.num_trials = num_trials
         self.batch_size = batch_size
+        self.engine = engine
+        self.num_workers = num_workers
 
     def run(
         self,
@@ -144,15 +161,20 @@ class BoundaryNudge(Attack):
         num_directions: int = 5,
         num_bisections: int = 4,
         batch_size: int = DEFAULT_BATCH_SIZE,
+        engine: str = "batched",
+        num_workers: int = 1,
     ) -> None:
         super().__init__(epsilon)
         if num_directions <= 0 or num_bisections <= 0:
             raise AttackError("num_directions and num_bisections must be positive")
         if batch_size <= 0:
             raise AttackError("batch_size must be positive")
+        self._validate_engine_knobs(engine, num_workers)
         self.num_directions = num_directions
         self.num_bisections = num_bisections
         self.batch_size = batch_size
+        self.engine = engine
+        self.num_workers = num_workers
 
     def run(
         self,
@@ -163,7 +185,16 @@ class BoundaryNudge(Attack):
     ) -> AttackResult:
         x, y = self._validate_batch(x, y)
         generator = ensure_rng(rng)
-        engine = as_query_engine(model, batch_size=self.batch_size)
+        with self._engine_session(model) as engine:
+            return self._run_with_engine(engine, x, y, generator)
+
+    def _run_with_engine(
+        self,
+        engine,
+        x: np.ndarray,
+        y: np.ndarray,
+        generator: np.random.Generator,
+    ) -> AttackResult:
         n, d = x.shape
         best = x.copy()
         best_pred = np.asarray(engine.predict(x))
@@ -242,7 +273,19 @@ def _run_trial_matrix_attack(
     seed is billed one query per trial until its first hit when
     ``early_stop`` is set, or for every trial otherwise).
     """
-    engine = as_query_engine(model, batch_size=attack.batch_size)
+    with attack._engine_session(model) as engine:
+        return _trial_matrix_with_engine(engine, x, y, num_trials, draw_noise, attack, early_stop)
+
+
+def _trial_matrix_with_engine(
+    engine,
+    x: np.ndarray,
+    y: np.ndarray,
+    num_trials: int,
+    draw_noise,
+    attack: Attack,
+    early_stop: bool,
+) -> AttackResult:
     n, d = x.shape
     best = x.copy()
     best_pred = np.asarray(engine.predict(x))

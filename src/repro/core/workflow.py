@@ -22,7 +22,7 @@ variant.
 from __future__ import annotations
 
 import copy
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import List, Optional, Tuple
 
 import numpy as np
@@ -31,7 +31,7 @@ from ..config import RngLike, ensure_rng
 from ..data.dataset import Dataset
 from ..data.partition import Partition, build_partition_for_dataset
 from ..exceptions import ConfigurationError
-from ..fuzzing.fuzzer import FuzzerConfig, OperationalFuzzer
+from ..fuzzing.fuzzer import EXECUTION_MODES, FuzzerConfig, OperationalFuzzer
 from ..naturalness.metrics import NaturalnessScorer, default_naturalness_scorer
 from ..nn.network import Sequential
 from ..op.profile import OperationalProfile
@@ -57,12 +57,23 @@ class WorkflowConfig:
     reassess_with_monte_carlo:
         Also record a direct Monte Carlo operational accuracy estimate in the
         iteration notes (slower but an independent cross-check).
+    engine:
+        Execution engine for the whole loop: ``"sequential"``,
+        ``"population"`` or ``"sharded"``.  ``None`` (default) leaves the
+        fuzzer config and assessor untouched; a value overrides the fuzzer's
+        ``execution`` knob and selects the matching backend for the default
+        reliability assessor.  Campaign results are bit-identical across
+        engines.
+    num_workers:
+        Worker processes used when ``engine="sharded"``.
     """
 
     test_budget_per_iteration: int = 600
     seeds_per_iteration: int = 20
     operational_dataset_size: int = 500
     reassess_with_monte_carlo: bool = False
+    engine: Optional[str] = None
+    num_workers: int = 1
 
     def __post_init__(self) -> None:
         if self.test_budget_per_iteration <= 0:
@@ -71,6 +82,12 @@ class WorkflowConfig:
             raise ConfigurationError("seeds_per_iteration must be positive")
         if self.operational_dataset_size <= 0:
             raise ConfigurationError("operational_dataset_size must be positive")
+        if self.engine is not None and self.engine not in EXECUTION_MODES:
+            raise ConfigurationError(
+                f"engine must be None or one of {EXECUTION_MODES}, got {self.engine!r}"
+            )
+        if self.num_workers <= 0:
+            raise ConfigurationError("num_workers must be positive")
 
 
 class OperationalTestingLoop:
@@ -95,6 +112,14 @@ class OperationalTestingLoop:
         self.config = workflow_config if workflow_config is not None else WorkflowConfig()
         self.stopping_rule = stopping_rule if stopping_rule is not None else StoppingRule()
         self.fuzzer_config = fuzzer_config if fuzzer_config is not None else FuzzerConfig()
+        if self.config.engine is not None:
+            # one workflow-level knob drives every hot path: the fuzzer's
+            # execution mode here, the assessor backend below
+            self.fuzzer_config = replace(
+                self.fuzzer_config,
+                execution=self.config.engine,
+                num_workers=self.config.num_workers,
+            )
         self._rng = ensure_rng(rng)
 
         self.partition = (
@@ -120,6 +145,10 @@ class OperationalTestingLoop:
                 partition=self.partition,
                 profile=profile,
                 confidence=self.stopping_rule.confidence,
+                engine="sharded" if self.config.engine == "sharded" else "batched",
+                num_workers=(
+                    self.config.num_workers if self.config.engine == "sharded" else 1
+                ),
                 rng=self._rng,
             )
         )

@@ -11,9 +11,14 @@ queries:
   from physical model calls.
 * :mod:`repro.engine.population` — :class:`PopulationFuzzEngine`, the
   lock-step population loop behind the batched operational fuzzer.
+* :mod:`repro.engine.parallel` — :class:`ShardedQueryEngine`, the
+  multi-worker execution backend that shards physical chunks across a pool
+  of pickled model replicas with bit-identical results, plus
+  :func:`build_query_engine`, the construction funnel behind every
+  subsystem's ``engine``/``num_workers`` knobs.
 
-Future scaling work (sharding, async dispatch, multi-backend execution)
-plugs in behind the same engine interface.
+Future scaling work (async dispatch, multi-backend execution, distributed
+caches) plugs in behind the same engine interface.
 """
 
 from .batching import (
@@ -22,6 +27,14 @@ from .batching import (
     QueryCache,
     QueryStats,
     as_query_engine,
+)
+from .parallel import (
+    ENGINE_BACKENDS,
+    Shard,
+    ShardedQueryEngine,
+    build_query_engine,
+    plan_shards,
+    query_engine_session,
 )
 from .population import (
     MemberOutcome,
@@ -37,6 +50,12 @@ __all__ = [
     "QueryCache",
     "QueryStats",
     "as_query_engine",
+    "ENGINE_BACKENDS",
+    "Shard",
+    "ShardedQueryEngine",
+    "build_query_engine",
+    "plan_shards",
+    "query_engine_session",
     "MemberOutcome",
     "PopulationFuzzEngine",
     "SeedTask",

@@ -76,6 +76,22 @@ class QueryStats:
             "naturalness_calls": self.naturalness_calls,
         }
 
+    def merge(self, other: "QueryStats") -> "QueryStats":
+        """Add another set of counters (e.g. one shard's) into this one.
+
+        The merge itself is plain integer addition; callers that merge from
+        concurrently completing shards must serialise calls (the sharded
+        engine holds a lock around every merge).
+        """
+        self.rows_queried += other.rows_queried
+        self.model_calls += other.model_calls
+        self.cache_hits += other.cache_hits
+        self.gradient_rows += other.gradient_rows
+        self.gradient_calls += other.gradient_calls
+        self.naturalness_rows += other.naturalness_rows
+        self.naturalness_calls += other.naturalness_calls
+        return self
+
 
 class QueryCache:
     """Exact memoizing cache mapping input rows to class probabilities.
@@ -163,7 +179,7 @@ class BatchedQueryEngine:
         """Class probabilities for every row, served in chunks via the cache."""
         x = np.atleast_2d(np.asarray(x, dtype=float))
         n = len(x)
-        self.stats.rows_queried += n
+        self._absorb(QueryStats(rows_queried=n))
         if n == 0:
             return np.zeros((0, 0))
 
@@ -172,7 +188,7 @@ class BatchedQueryEngine:
 
         cached = [self.cache.get(row) for row in x]
         miss = np.flatnonzero([value is None for value in cached])
-        self.stats.cache_hits += n - len(miss)
+        self._absorb(QueryStats(cache_hits=n - len(miss)))
         if len(miss) == 0:
             return np.stack(cached)
         fresh = self._predict_proba_chunked(x[miss])
@@ -197,13 +213,13 @@ class BatchedQueryEngine:
         x = np.atleast_2d(np.asarray(x, dtype=float))
         y = np.atleast_1d(np.asarray(y, dtype=int))
         n = len(x)
-        self.stats.gradient_rows += n
+        self._absorb(QueryStats(gradient_rows=n))
         if n == 0:
             return np.zeros_like(x)
         pieces = []
         for start, stop in _iter_chunks(n, self.batch_size):
             pieces.append(self.model.loss_input_gradient(x[start:stop], y[start:stop]))
-            self.stats.gradient_calls += 1
+            self._absorb(QueryStats(gradient_calls=1))
         return pieces[0] if len(pieces) == 1 else np.concatenate(pieces, axis=0)
 
     # ------------------------------------------------------------------ #
@@ -215,23 +231,49 @@ class BatchedQueryEngine:
             raise ConfigurationError("engine was built without a naturalness scorer")
         x = np.atleast_2d(np.asarray(x, dtype=float))
         n = len(x)
-        self.stats.naturalness_rows += n
+        self._absorb(QueryStats(naturalness_rows=n))
         if n == 0:
             return np.zeros(0)
         pieces = []
         for start, stop in _iter_chunks(n, self.batch_size):
             pieces.append(np.asarray(self.naturalness.score(x[start:stop]), dtype=float))
-            self.stats.naturalness_calls += 1
+            self._absorb(QueryStats(naturalness_calls=1))
         return pieces[0] if len(pieces) == 1 else np.concatenate(pieces)
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+    def close(self) -> None:
+        """Release execution resources.
+
+        A no-op for the in-process engine; the sharded backend overrides it
+        to shut down its worker pool.  Stats (and the cache) stay readable
+        after closing.
+        """
+
+    def __enter__(self) -> "BatchedQueryEngine":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
 
     # ------------------------------------------------------------------ #
     # internals
     # ------------------------------------------------------------------ #
+    def _absorb(self, delta: QueryStats) -> None:
+        """Merge a stats delta into the counters.
+
+        The single funnel for every counter mutation: the sharded backend
+        overrides it with a locked variant so merges stay race-free under
+        concurrent shard completion.
+        """
+        self.stats.merge(delta)
+
     def _predict_proba_chunked(self, x: np.ndarray) -> np.ndarray:
         pieces = []
         for start, stop in _iter_chunks(len(x), self.batch_size):
             pieces.append(np.asarray(self.model.predict_proba(x[start:stop]), dtype=float))
-            self.stats.model_calls += 1
+            self._absorb(QueryStats(model_calls=1))
         return pieces[0] if len(pieces) == 1 else np.concatenate(pieces, axis=0)
 
 

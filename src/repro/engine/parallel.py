@@ -1,0 +1,497 @@
+"""Sharded multi-worker dispatch behind the batched query engine.
+
+:class:`ShardedQueryEngine` is the scaling step the ROADMAP carved out after
+the batching chassis (PR 2): instead of servicing every physical chunk in the
+coordinator process, the chunks of one logical ``predict`` /
+``predict_proba`` / ``loss_input_gradient`` / naturalness call are *sharded*
+across a pool of worker processes, each holding a pickled replica of the
+model (and naturalness scorer) under test.
+
+Determinism is the design constraint — a parallel campaign that silently
+changes results is worthless for a reliability paper — and it is achieved by
+construction rather than by tolerance thresholds:
+
+* **Identical shard boundaries.**  Shards are exactly the ``batch_size``
+  chunks the in-process :class:`BatchedQueryEngine` would have produced, so
+  every worker computes ``model.predict_proba`` on bit-identical matrices.
+* **Deterministic shard→worker assignment.**  Shard ``i`` always runs on
+  worker ``i % num_workers`` (each worker is its own single-process
+  executor), and results are concatenated in shard order regardless of
+  completion order.
+* **Exact replicas.**  The model and scorer are snapshot once with
+  :mod:`pickle` when the pool starts; NumPy arrays round-trip bit-exactly,
+  so replica outputs equal coordinator outputs.
+
+Together these make the sharded path *bit-identical* to the batched path
+(and therefore to the sequential reference campaigns) — the scenario-matrix
+suite in ``tests/test_parallel_engine.py`` pins this.
+
+Bookkeeping is race-free under concurrent shard completion: every worker
+returns a per-shard :class:`QueryStats` delta that is merged into the
+engine's counters through a single locked merge point (:meth:`_absorb`),
+and the memoizing cache lives in the coordinator behind the same lock — a
+row computed by one worker is answered from the cache for every other
+worker, so repeated rows cost one physical call across the whole pool.
+
+Sharding pays off when the per-chunk compute (large models, KDE/autoencoder
+naturalness, wide matrices) dominates the pickling round-trip and the
+machine has idle cores; on a single-core host or for tiny per-row work the
+in-process engine is faster.  ``num_workers=1`` therefore short-circuits to
+in-process execution (the coordinator is the only worker) while keeping the
+sharded accounting path, which makes it the honest baseline for the scaling
+benchmark.
+"""
+
+from __future__ import annotations
+
+import pickle
+import threading
+import weakref
+from concurrent.futures import Future, ProcessPoolExecutor
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+import multiprocessing
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+from ..naturalness.metrics import NaturalnessScorer
+from ..types import Classifier
+from .batching import (
+    DEFAULT_BATCH_SIZE,
+    BatchedQueryEngine,
+    QueryStats,
+    _iter_chunks,
+    as_query_engine,
+)
+
+#: Engine backends accepted wherever an ``engine`` knob is threaded through
+#: (attacks, reliability evaluators, scenarios).  The fuzzer's ``execution``
+#: knob additionally distinguishes ``"population"`` vs ``"sequential"``
+#: control flow; ``"sharded"`` there selects this backend.
+ENGINE_BACKENDS = ("batched", "sharded")
+
+
+# --------------------------------------------------------------------------- #
+# shard planning
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class Shard:
+    """One physical chunk of a logical call, pinned to a worker.
+
+    Attributes
+    ----------
+    index:
+        Position of the shard in the logical call (concatenation order).
+    start, stop:
+        Row slice of the logical matrix this shard covers.
+    worker:
+        Worker the shard is assigned to (``index % num_workers``).
+    """
+
+    index: int
+    start: int
+    stop: int
+    worker: int
+
+
+def plan_shards(n: int, batch_size: int, num_workers: int) -> List[Shard]:
+    """Plan the shards of an ``n``-row call: chunk boundaries + assignment.
+
+    The boundaries are exactly the chunks :class:`BatchedQueryEngine` would
+    process in-process (``batch_size`` rows each, last one ragged), and the
+    assignment is the deterministic round-robin ``index % num_workers`` —
+    two calls with the same arguments always produce the same plan.
+    """
+    if n < 0:
+        raise ConfigurationError("row count must be non-negative")
+    if batch_size <= 0:
+        raise ConfigurationError("batch_size must be positive")
+    if num_workers <= 0:
+        raise ConfigurationError("num_workers must be positive")
+    return [
+        Shard(index=i, start=start, stop=stop, worker=i % num_workers)
+        for i, (start, stop) in enumerate(_iter_chunks(n, batch_size))
+    ]
+
+
+# --------------------------------------------------------------------------- #
+# shard computations (shared by workers and the in-process fallback)
+# --------------------------------------------------------------------------- #
+def _shard_predict_proba(
+    model: Classifier, chunk: np.ndarray
+) -> Tuple[np.ndarray, QueryStats]:
+    return np.asarray(model.predict_proba(chunk), dtype=float), QueryStats(model_calls=1)
+
+
+def _shard_gradient(
+    model: Classifier, x: np.ndarray, y: np.ndarray
+) -> Tuple[np.ndarray, QueryStats]:
+    return (
+        np.asarray(model.loss_input_gradient(x, y), dtype=float),
+        QueryStats(gradient_calls=1),
+    )
+
+
+def _shard_naturalness(
+    naturalness: NaturalnessScorer, chunk: np.ndarray
+) -> Tuple[np.ndarray, QueryStats]:
+    return np.asarray(naturalness.score(chunk), dtype=float), QueryStats(
+        naturalness_calls=1
+    )
+
+
+#: Per-worker replica of ``(model, naturalness)``, installed by the pool
+#: initializer.  Module-level so task functions pickle by reference.
+_REPLICA: Optional[Tuple[Classifier, Optional[NaturalnessScorer]]] = None
+
+
+def _install_replica(payload: bytes) -> None:
+    global _REPLICA
+    _REPLICA = pickle.loads(payload)
+
+
+def _worker_predict_proba(chunk: np.ndarray) -> Tuple[np.ndarray, QueryStats]:
+    return _shard_predict_proba(_REPLICA[0], chunk)
+
+
+def _worker_gradient(x: np.ndarray, y: np.ndarray) -> Tuple[np.ndarray, QueryStats]:
+    return _shard_gradient(_REPLICA[0], x, y)
+
+
+def _worker_naturalness(chunk: np.ndarray) -> Tuple[np.ndarray, QueryStats]:
+    if _REPLICA[1] is None:
+        raise ConfigurationError("worker replica has no naturalness scorer")
+    return _shard_naturalness(_REPLICA[1], chunk)
+
+
+def _shutdown_pools(pools: Sequence[ProcessPoolExecutor]) -> None:
+    for pool in pools:
+        pool.shutdown(wait=True, cancel_futures=True)
+
+
+class _LockedCache:
+    """Coordinator-side cache wrapper serialising access under the engine lock.
+
+    The memoizing cache is deliberately held in the coordinator (not in a
+    ``multiprocessing`` manager): lookups happen *before* shards are
+    dispatched, so a row any worker has ever computed is answered without
+    touching the pool again — shared across workers by construction, without
+    per-row IPC.  The lock makes the accounting safe even when future code
+    touches the cache from shard-completion callbacks.
+    """
+
+    def __init__(self, inner, lock: threading.Lock) -> None:
+        self._inner = inner
+        self._lock = lock
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._inner)
+
+    def get(self, row: np.ndarray):
+        with self._lock:
+            return self._inner.get(row)
+
+    def put(self, row: np.ndarray, value: np.ndarray) -> None:
+        with self._lock:
+            self._inner.put(row, value)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._inner.clear()
+
+
+# --------------------------------------------------------------------------- #
+# the sharded engine
+# --------------------------------------------------------------------------- #
+class ShardedQueryEngine(BatchedQueryEngine):
+    """Multi-worker execution backend behind the batched query engine.
+
+    Drop-in for :class:`BatchedQueryEngine` (same constructor surface plus
+    ``num_workers``/``start_method``); all logical semantics — chunk
+    boundaries, caching, :class:`QueryStats` meanings — are inherited, only
+    the physical execution of chunks moves to worker processes.
+
+    Parameters
+    ----------
+    model, naturalness, batch_size, cache, cache_max_entries:
+        As for :class:`BatchedQueryEngine`.
+    num_workers:
+        Worker processes to shard physical calls across.  ``1`` executes
+        in-process (no pool, no pickling) but keeps the sharded accounting
+        path, making it the honest single-worker baseline.
+    start_method:
+        Optional :mod:`multiprocessing` start method (``"fork"`` on Linux by
+        default).  Workers receive the model via an explicit pickle snapshot
+        either way, so replica semantics do not depend on it.
+
+    Notes
+    -----
+    The worker pool snapshots the model lazily on first dispatch; mutating
+    the model afterwards (e.g. retraining in place) is not reflected in the
+    replicas — build a fresh engine per campaign, as every call site in this
+    repository does, or call :meth:`close` to force a re-snapshot.
+    """
+
+    def __init__(
+        self,
+        model: Classifier,
+        naturalness: Optional[NaturalnessScorer] = None,
+        batch_size: int = DEFAULT_BATCH_SIZE,
+        cache: object = False,
+        cache_max_entries: int = 65536,
+        num_workers: int = 2,
+        start_method: Optional[str] = None,
+    ) -> None:
+        super().__init__(
+            model,
+            naturalness=naturalness,
+            batch_size=batch_size,
+            cache=cache,
+            cache_max_entries=cache_max_entries,
+        )
+        if num_workers <= 0:
+            raise ConfigurationError("num_workers must be positive")
+        self.num_workers = int(num_workers)
+        self.start_method = start_method
+        self._lock = threading.Lock()
+        if self.cache is not None:
+            self.cache = _LockedCache(self.cache, self._lock)
+        self._pools: Optional[List[ProcessPoolExecutor]] = None
+        self._finalizer: Optional[weakref.finalize] = None
+
+    @property
+    def naturalness(self) -> Optional[NaturalnessScorer]:
+        return self._naturalness
+
+    @naturalness.setter
+    def naturalness(self, scorer: Optional[NaturalnessScorer]) -> None:
+        # replicas snapshot (model, naturalness) when the pool starts; a
+        # scorer attached afterwards (as_query_engine / build_query_engine
+        # do this on pass-through) must invalidate the pool so the next
+        # dispatch re-snapshots — otherwise workers would raise on their
+        # scorer-less replica
+        self._naturalness = scorer
+        if getattr(self, "_pools", None) is not None:
+            self.close()
+
+    # ------------------------------------------------------------------ #
+    # overridden physical execution
+    # ------------------------------------------------------------------ #
+    def _predict_proba_chunked(self, x: np.ndarray) -> np.ndarray:
+        return self._dispatch(_worker_predict_proba, _shard_predict_proba, (x,), 0)
+
+    def loss_input_gradient(self, x: np.ndarray, y: np.ndarray) -> np.ndarray:
+        """Sharded input gradients (same chunk scaling note as the base class)."""
+        x = np.atleast_2d(np.asarray(x, dtype=float))
+        y = np.atleast_1d(np.asarray(y, dtype=int))
+        n = len(x)
+        self._absorb(QueryStats(gradient_rows=n))
+        if n == 0:
+            return np.zeros_like(x)
+        return self._dispatch(_worker_gradient, _shard_gradient, (x, y), 0)
+
+    def score_naturalness(self, x: np.ndarray) -> np.ndarray:
+        """Sharded naturalness scores for every row."""
+        if self.naturalness is None:
+            raise ConfigurationError("engine was built without a naturalness scorer")
+        x = np.atleast_2d(np.asarray(x, dtype=float))
+        n = len(x)
+        self._absorb(QueryStats(naturalness_rows=n))
+        if n == 0:
+            return np.zeros(0)
+        return self._dispatch(_worker_naturalness, _shard_naturalness, (x,), 1)
+
+    # ------------------------------------------------------------------ #
+    # dispatch machinery
+    # ------------------------------------------------------------------ #
+    def _dispatch(
+        self,
+        worker_fn,
+        local_fn,
+        arrays: Tuple[np.ndarray, ...],
+        replica_slot: int,
+    ) -> np.ndarray:
+        """Run one logical call: plan shards, execute, merge stats, reassemble.
+
+        ``worker_fn`` runs against the pool replica, ``local_fn`` against the
+        coordinator's own model/scorer (the ``num_workers == 1`` path);
+        both return ``(values, per_shard_stats)``.
+        """
+        shards = plan_shards(len(arrays[0]), self.batch_size, self.num_workers)
+        pieces: List[np.ndarray] = []
+        if self.num_workers == 1:
+            subject = self.model if replica_slot == 0 else self.naturalness
+            for shard in shards:
+                values, delta = local_fn(
+                    subject, *(a[shard.start : shard.stop] for a in arrays)
+                )
+                self._absorb(delta)
+                pieces.append(values)
+        else:
+            pools = self._ensure_workers()
+            futures: List[Future] = [
+                pools[shard.worker].submit(
+                    worker_fn, *(a[shard.start : shard.stop] for a in arrays)
+                )
+                for shard in shards
+            ]
+            # results (and their stats deltas) are gathered in shard order,
+            # so concatenation — and therefore every campaign outcome — is
+            # independent of which worker finishes first, and the counters
+            # are fully merged before this logical call returns
+            for future in futures:
+                values, delta = future.result()
+                self._absorb(delta)
+                pieces.append(values)
+        return pieces[0] if len(pieces) == 1 else np.concatenate(pieces, axis=0)
+
+    def _absorb(self, delta: QueryStats) -> None:
+        """Race-free merge of a per-shard stats delta into the engine counters.
+
+        The single merge point for shard accounting.  Today every dispatch
+        merges serially on the coordinator thread; the engine lock (shared
+        with the cache wrapper) is the defensive guarantee that keeps merges
+        exact if a future execution path (async dispatch, callback-based
+        gathering) completes shards from other threads.
+        """
+        with self._lock:
+            self.stats.merge(delta)
+
+    def _ensure_workers(self) -> List[ProcessPoolExecutor]:
+        # under the engine lock: two threads racing their first dispatch
+        # must not each spawn (and then leak) a full worker set
+        with self._lock:
+            if self._pools is None:
+                payload = pickle.dumps(
+                    (self.model, self.naturalness), protocol=pickle.HIGHEST_PROTOCOL
+                )
+                context = (
+                    multiprocessing.get_context(self.start_method)
+                    if self.start_method is not None
+                    else multiprocessing.get_context()
+                )
+                # one single-process executor per worker keeps the
+                # shard→worker assignment literal: shard i is *always*
+                # executed by pool i%W
+                self._pools = [
+                    ProcessPoolExecutor(
+                        max_workers=1,
+                        mp_context=context,
+                        initializer=_install_replica,
+                        initargs=(payload,),
+                    )
+                    for _ in range(self.num_workers)
+                ]
+                self._finalizer = weakref.finalize(self, _shutdown_pools, self._pools)
+            return self._pools
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+    def close(self) -> None:
+        """Shut down the worker pool (idempotent).
+
+        The next dispatch would lazily rebuild the pool from a fresh model
+        snapshot; stats and cache survive closing.  The pool swap shares the
+        engine lock with :meth:`_ensure_workers`, so closing cannot race a
+        concurrent first dispatch into leaking a worker set (closing while
+        another thread has shards in flight is still a caller error).
+        """
+        with self._lock:
+            pools, self._pools = self._pools, None
+            if self._finalizer is not None:
+                self._finalizer.detach()
+                self._finalizer = None
+        if pools is not None:
+            _shutdown_pools(pools)
+
+
+# --------------------------------------------------------------------------- #
+# construction helpers
+# --------------------------------------------------------------------------- #
+def validate_engine_knobs(
+    engine: str, num_workers: int, exception: type = ConfigurationError
+) -> None:
+    """Validate an ``engine``/``num_workers`` knob pair.
+
+    Shared by every subsystem that threads the knobs through, so the accepted
+    backends live in exactly one place; ``exception`` lets each subsystem
+    keep its own error taxonomy (``AttackError``, ``ReliabilityError``, …).
+    """
+    if engine not in ENGINE_BACKENDS:
+        raise exception(f"engine must be one of {ENGINE_BACKENDS}, got {engine!r}")
+    if num_workers <= 0:
+        raise exception("num_workers must be positive")
+
+
+def build_query_engine(
+    model: Classifier,
+    naturalness: Optional[NaturalnessScorer] = None,
+    batch_size: int = DEFAULT_BATCH_SIZE,
+    cache: object = False,
+    cache_max_entries: int = 65536,
+    engine: str = "batched",
+    num_workers: int = 1,
+    start_method: Optional[str] = None,
+) -> BatchedQueryEngine:
+    """Build the requested engine backend (or pass an existing engine through).
+
+    The single construction funnel behind every subsystem's ``engine`` /
+    ``num_workers`` knobs.  Like :func:`repro.engine.batching.as_query_engine`,
+    a pre-built engine is returned unchanged so nested subsystems share one
+    set of counters, one cache and one worker pool.
+    """
+    validate_engine_knobs(engine, num_workers)
+    if engine == "sharded" and not isinstance(model, BatchedQueryEngine):
+        return ShardedQueryEngine(
+            model,
+            naturalness=naturalness,
+            batch_size=batch_size,
+            cache=cache,
+            cache_max_entries=cache_max_entries,
+            num_workers=num_workers,
+            start_method=start_method,
+        )
+    # pass-through (with scorer injection) and batched construction both
+    # live in as_query_engine — one funnel, not two copies of the rule
+    return as_query_engine(
+        model,
+        naturalness=naturalness,
+        batch_size=batch_size,
+        cache=cache,
+        cache_max_entries=cache_max_entries,
+    )
+
+
+@contextmanager
+def query_engine_session(
+    model: Classifier, **kwargs: object
+) -> Iterator[BatchedQueryEngine]:
+    """Build an engine for one campaign and release its workers afterwards.
+
+    Engines the caller already owns (``model`` is itself an engine) are
+    passed through *without* being closed — their lifecycle belongs to the
+    caller.
+    """
+    engine = build_query_engine(model, **kwargs)
+    created = engine is not model
+    try:
+        yield engine
+    finally:
+        if created:
+            engine.close()
+
+
+__all__ = [
+    "ENGINE_BACKENDS",
+    "Shard",
+    "plan_shards",
+    "ShardedQueryEngine",
+    "validate_engine_knobs",
+    "build_query_engine",
+    "query_engine_session",
+]

@@ -47,6 +47,33 @@ class Scenario:
     partition: Partition
     operational_priors: np.ndarray
 
+    def query_engine(
+        self,
+        engine: str = "batched",
+        num_workers: int = 1,
+        batch_size: Optional[int] = None,
+        cache: object = False,
+    ):
+        """Build a query engine over the scenario's model and scorer.
+
+        The ``engine``/``num_workers`` knobs select the execution backend
+        (``"sharded"`` fans physical chunks across worker processes with
+        bit-identical results); callers own the returned engine and should
+        :meth:`~repro.engine.BatchedQueryEngine.close` it (or use it as a
+        context manager) when a sharded backend was requested.
+        """
+        from ..engine.batching import DEFAULT_BATCH_SIZE
+        from ..engine.parallel import build_query_engine
+
+        return build_query_engine(
+            self.model,
+            naturalness=self.naturalness,
+            batch_size=DEFAULT_BATCH_SIZE if batch_size is None else batch_size,
+            cache=cache,
+            engine=engine,
+            num_workers=num_workers,
+        )
+
 
 def _train_model(
     train: Dataset,

@@ -30,6 +30,11 @@ Two statistically equivalent execution strategies are provided (selected by
   the fast path: physical model calls shrink by roughly the population size.
 * ``"sequential"`` — the reference one-seed-at-a-time loop, kept for
   equivalence testing and as the ground truth for the per-seed semantics.
+* ``"sharded"`` — the population control flow with its physical chunks
+  sharded across ``num_workers`` worker processes
+  (:class:`repro.engine.ShardedQueryEngine`).  Shard boundaries and
+  shard→worker assignment are deterministic and the workers run exact
+  pickled replicas, so campaigns are bit-identical to ``"population"``.
 
 Both paths draw each seed's randomness from a private generator spawned from
 the campaign RNG, so a seed sees the same proposal stream no matter which
@@ -48,7 +53,8 @@ import numpy as np
 from scipy.spatial import cKDTree
 
 from ..config import EPSILON, RngLike, ensure_rng, spawn_rngs
-from ..engine.batching import BatchedQueryEngine, QueryStats, as_query_engine
+from ..engine.batching import BatchedQueryEngine, QueryStats
+from ..engine.parallel import query_engine_session
 from ..engine.population import (
     PROPOSAL_CAP_FACTOR,
     PopulationFuzzEngine,
@@ -61,8 +67,11 @@ from ..naturalness.metrics import NaturalnessScorer
 from ..types import AdversarialExample, Classifier
 from .mutations import MutationContext, MutationOperator, default_operators
 
-#: Valid values of :attr:`FuzzerConfig.execution`.
-EXECUTION_MODES = ("population", "sequential")
+#: Valid values of :attr:`FuzzerConfig.execution` — the engine knob: the
+#: batched lock-step default, the sequential reference, and the sharded
+#: multi-worker backend (population control flow, physical chunks fanned out
+#: across ``num_workers`` processes).
+EXECUTION_MODES = ("population", "sequential", "sharded")
 
 
 @dataclass
@@ -99,8 +108,13 @@ class FuzzerConfig:
         full per-seed budget on seeds whose whole natural neighbourhood is
         robust is exactly the waste the paper wants to avoid.
     execution:
-        ``"population"`` (batched lock-step fuzzing, the fast default) or
-        ``"sequential"`` (the reference per-seed loop).
+        ``"population"`` (batched lock-step fuzzing, the fast default),
+        ``"sequential"`` (the reference per-seed loop) or ``"sharded"``
+        (population control flow with chunks sharded across
+        ``num_workers`` worker processes; bit-identical results).
+    num_workers:
+        Worker processes used by the ``"sharded"`` engine (ignored by the
+        other modes).  ``1`` keeps execution in-process.
     batch_size:
         Maximum rows per physical model call in the batched engine.
     use_query_cache:
@@ -123,6 +137,7 @@ class FuzzerConfig:
     max_energy: float = 2.0
     stall_limit: int = 8
     execution: str = "population"
+    num_workers: int = 2
     batch_size: int = 4096
     use_query_cache: bool = True
     cache_max_entries: int = 65536
@@ -150,6 +165,8 @@ class FuzzerConfig:
             raise FuzzingError(
                 f"execution must be one of {EXECUTION_MODES}, got {self.execution!r}"
             )
+        if self.num_workers <= 0:
+            raise FuzzingError("num_workers must be positive")
         if self.batch_size <= 0:
             raise FuzzingError("batch_size must be positive")
         if self.cache_max_entries <= 0:
@@ -294,23 +311,26 @@ class OperationalFuzzer:
             max(1, int(round(cfg.queries_per_seed * energies[i])))
             for i in range(len(seeds))
         ]
-        engine = as_query_engine(
+        with query_engine_session(
             model,
             naturalness=self.naturalness,
             batch_size=cfg.batch_size,
             cache=cfg.use_query_cache,
             cache_max_entries=cfg.cache_max_entries,
-        )
-        self.last_query_stats = engine.stats
-
-        if cfg.execution == "sequential":
-            result = self._fuzz_sequential(
-                engine, seeds, labels, op_densities, budget, nominal_budgets, rngs
-            )
-        else:
-            result = self._fuzz_population(
-                engine, seeds, labels, op_densities, budget, nominal_budgets, rngs
-            )
+            engine="sharded" if cfg.execution == "sharded" else "batched",
+            num_workers=cfg.num_workers if cfg.execution == "sharded" else 1,
+        ) as engine:
+            self.last_query_stats = engine.stats
+            if cfg.execution == "sequential":
+                result = self._fuzz_sequential(
+                    engine, seeds, labels, op_densities, budget, nominal_budgets, rngs
+                )
+            else:
+                # "population" and "sharded" share the lock-step control
+                # flow; only the physical execution backend differs
+                result = self._fuzz_population(
+                    engine, seeds, labels, op_densities, budget, nominal_budgets, rngs
+                )
         result.validate_budget(budget)
         return result
 

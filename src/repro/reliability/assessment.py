@@ -134,6 +134,13 @@ class ReliabilityAssessor:
     batch_size:
         Rows per physical model call when collecting evidence (threaded into
         the default evaluator and the Monte Carlo estimator).
+    engine:
+        Execution backend for evidence collection (``"batched"`` in-process,
+        ``"sharded"`` across ``num_workers`` worker processes); threaded into
+        the default evaluator and the Monte Carlo estimator.  Estimates are
+        bit-identical across backends.
+    num_workers:
+        Worker processes used by the sharded backend.
     """
 
     def __init__(
@@ -145,20 +152,31 @@ class ReliabilityAssessor:
         confidence: float = 0.90,
         op_samples: int = 4096,
         batch_size: int = 4096,
+        engine: str = "batched",
+        num_workers: int = 1,
         rng: RngLike = None,
     ) -> None:
+        from ..engine.parallel import validate_engine_knobs
+
         if not 0 < confidence < 1:
             raise ReliabilityError("confidence must be in (0, 1)")
         if batch_size <= 0:
             raise ReliabilityError("batch_size must be positive")
+        validate_engine_knobs(engine, num_workers, exception=ReliabilityError)
         self.partition = partition
         self.profile = profile
         self.batch_size = batch_size
+        self.engine = engine
+        self.num_workers = num_workers
         self.evaluator = (
             evaluator
             if evaluator is not None
             else CellRobustnessEvaluator(
-                partition, samples_per_cell=10, batch_size=batch_size
+                partition,
+                samples_per_cell=10,
+                batch_size=batch_size,
+                engine=engine,
+                num_workers=num_workers,
             )
         )
         self.bayes = BayesianCellModel(prior=prior)
@@ -237,15 +255,20 @@ class ReliabilityAssessor:
             raise ReliabilityError("num_samples must be positive")
         from scipy.spatial import cKDTree
 
-        from ..engine.batching import as_query_engine
+        from ..engine.parallel import query_engine_session
 
         generator = ensure_rng(rng or self._rng)
         samples = self.profile.sample(num_samples, generator)
         tree = cKDTree(reference.x)
         _, indices = tree.query(samples)
         labels = reference.y[indices]
-        engine = as_query_engine(model, batch_size=self.batch_size)
-        return accuracy(labels, np.asarray(engine.predict(samples)))
+        with query_engine_session(
+            model,
+            batch_size=self.batch_size,
+            engine=self.engine,
+            num_workers=self.num_workers,
+        ) as query_engine:
+            return accuracy(labels, np.asarray(query_engine.predict(samples)))
 
     def identify_weak_cells(
         self, table: CellEvidenceTable, top_k: int = 10

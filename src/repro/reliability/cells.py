@@ -128,6 +128,13 @@ class CellRobustnessEvaluator:
         sampling test points (defaults to the cell radius).
     include_center:
         Also evaluate the labelled points themselves (counts towards trials).
+    batch_size:
+        Rows per physical model call when classifying the test points.
+    engine:
+        Execution backend for those calls (``"batched"`` in-process,
+        ``"sharded"`` across worker processes — evidence is bit-identical).
+    num_workers:
+        Worker processes used by the sharded backend.
     """
 
     def __init__(
@@ -137,16 +144,23 @@ class CellRobustnessEvaluator:
         perturbation_radius: Optional[float] = None,
         include_center: bool = True,
         batch_size: int = 4096,
+        engine: str = "batched",
+        num_workers: int = 1,
     ) -> None:
+        from ..engine.parallel import validate_engine_knobs
+
         if samples_per_cell <= 0:
             raise ReliabilityError("samples_per_cell must be positive")
         if batch_size <= 0:
             raise ReliabilityError("batch_size must be positive")
+        validate_engine_knobs(engine, num_workers, exception=ReliabilityError)
         self.partition = partition
         self.samples_per_cell = samples_per_cell
         self.perturbation_radius = perturbation_radius
         self.include_center = include_center
         self.batch_size = batch_size
+        self.engine = engine
+        self.num_workers = num_workers
 
     def evaluate(
         self,
@@ -170,10 +184,7 @@ class CellRobustnessEvaluator:
         """
         if len(reference) == 0:
             raise ReliabilityError("reference dataset must not be empty")
-        from ..engine.batching import as_query_engine
-
         generator = ensure_rng(rng)
-        engine = as_query_engine(model, batch_size=self.batch_size)
         assignments = self.partition.assign(reference.x)
         table = CellEvidenceTable(partition=self.partition)
 
@@ -198,7 +209,17 @@ class CellRobustnessEvaluator:
             metas.append((int(cell_id), label, len(members), len(test_points)))
 
         if pending:
-            predictions = np.asarray(engine.predict(np.concatenate(pending, axis=0)))
+            from ..engine.parallel import query_engine_session
+
+            with query_engine_session(
+                model,
+                batch_size=self.batch_size,
+                engine=self.engine,
+                num_workers=self.num_workers,
+            ) as query_engine:
+                predictions = np.asarray(
+                    query_engine.predict(np.concatenate(pending, axis=0))
+                )
             offset = 0
             for cell_id, label, support, num_points in metas:
                 cell_predictions = predictions[offset : offset + num_points]

@@ -8,6 +8,8 @@ from hypothesis.extra.numpy import arrays
 
 from repro.config import clip01, ensure_rng
 from repro.data import Dataset, GridPartition
+from repro.engine import BatchedQueryEngine, QueryStats, plan_shards
+from repro.fuzzing import FuzzerConfig, OperationalFuzzer
 from repro.nn.losses import SoftmaxCrossEntropy
 from repro.nn.metrics import accuracy, confusion_matrix, prediction_margin
 from repro.op import hellinger_distance, js_divergence, kl_divergence, total_variation
@@ -187,6 +189,161 @@ class TestPartitionProperties:
         partition = GridPartition(2, bins_per_dim=bins)
         cell_id = cell_index % partition.num_cells
         assert partition.assign(partition.cell_center(cell_id)[None, :])[0] == cell_id
+
+
+# --------------------------------------------------------------------------- #
+# query engine: sharding, stats merging, caching, budgets
+# --------------------------------------------------------------------------- #
+class _AffineToyModel:
+    """Deterministic, picklable classifier for engine properties."""
+
+    def __init__(self, d: int = 3, k: int = 4) -> None:
+        rng = np.random.default_rng(2021)
+        self.w = rng.normal(size=(d, k))
+        self.b = rng.normal(size=k)
+
+    def predict_proba(self, x: np.ndarray) -> np.ndarray:
+        logits = np.atleast_2d(x) @ self.w + self.b
+        z = np.exp(logits - logits.max(axis=1, keepdims=True))
+        return z / z.sum(axis=1, keepdims=True)
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        return self.predict_proba(x).argmax(axis=1)
+
+    def loss_input_gradient(self, x: np.ndarray, y: np.ndarray) -> np.ndarray:
+        probs = self.predict_proba(x)
+        grad_logits = probs.copy()
+        grad_logits[np.arange(len(probs)), np.asarray(y, dtype=int)] -= 1.0
+        return (grad_logits / len(probs)) @ self.w.T
+
+
+class TestEngineShardingProperties:
+    @given(
+        st.integers(min_value=0, max_value=500),
+        st.integers(min_value=1, max_value=64),
+        st.integers(min_value=1, max_value=8),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_shards_partition_rows_exactly(self, n, batch_size, num_workers):
+        shards = plan_shards(n, batch_size, num_workers)
+        assert [s.index for s in shards] == list(range(len(shards)))
+        covered = 0
+        for shard in shards:
+            assert shard.start == covered
+            assert shard.stop - shard.start <= batch_size
+            assert shard.worker == shard.index % num_workers
+            covered = shard.stop
+        assert covered == n
+
+    @given(
+        st.integers(min_value=1, max_value=40),
+        st.integers(min_value=1, max_value=16),
+        st.integers(min_value=1, max_value=4),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_merged_shard_stats_equal_single_process_stats(
+        self, n, batch_size, num_workers
+    ):
+        """Chunk-by-chunk deltas merged shard-wise == one in-process engine."""
+        model = _AffineToyModel()
+        rng = np.random.default_rng(n * 131 + batch_size)
+        x = rng.random((n, 3))
+        y = rng.integers(0, 4, size=n)
+
+        single = BatchedQueryEngine(model, batch_size=batch_size)
+        single.predict_proba(x)
+        single.loss_input_gradient(x, y)
+
+        shards = plan_shards(n, batch_size, num_workers)
+        merged = QueryStats(rows_queried=n, gradient_rows=n)
+        for _ in shards:
+            merged.merge(QueryStats(model_calls=1))
+        for _ in shards:
+            merged.merge(QueryStats(gradient_calls=1))
+        assert merged.as_dict() == single.stats.as_dict()
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(0, 1000), st.integers(0, 50), st.integers(0, 1000)
+            ),
+            min_size=0,
+            max_size=20,
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_stats_merge_is_componentwise_sum(self, rows):
+        total = QueryStats()
+        for queried, calls, hits in rows:
+            total.merge(
+                QueryStats(rows_queried=queried, model_calls=calls, cache_hits=hits)
+            )
+        assert total.rows_queried == sum(r[0] for r in rows)
+        assert total.model_calls == sum(r[1] for r in rows)
+        assert total.cache_hits == sum(r[2] for r in rows)
+
+    @given(
+        st.integers(min_value=1, max_value=30),
+        st.integers(min_value=1, max_value=10),
+        st.integers(min_value=0, max_value=2**31 - 2),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_cache_hits_never_change_predict_proba(self, n, batch_size, seed):
+        """A cache hit returns exactly what the model produced the first time.
+
+        Repeated rows (in any order, any multiplicity) must come back
+        bit-identical to their first computation, and a cached engine must
+        agree bit-for-bit with an uncached one on the initial pass.
+        """
+        model = _AffineToyModel()
+        rng = np.random.default_rng(seed)
+        base = rng.random((n, 3))
+        cached = BatchedQueryEngine(model, batch_size=batch_size, cache=True)
+        uncached = BatchedQueryEngine(model, batch_size=batch_size)
+        first = cached.predict_proba(base)
+        np.testing.assert_array_equal(first, uncached.predict_proba(base))
+        # re-query the same rows shuffled and duplicated: all served by the
+        # cache, all bit-identical to the first computation
+        picks = rng.integers(0, n, size=2 * n)
+        repeat = cached.predict_proba(base[picks])
+        np.testing.assert_array_equal(repeat, first[picks])
+        assert cached.stats.cache_hits == len(picks)
+        assert cached.stats.model_calls == uncached.stats.model_calls
+
+    @given(
+        budget=st.integers(min_value=1, max_value=200),
+        execution=st.sampled_from(["population", "sequential", "sharded"]),
+        num_workers=st.integers(min_value=1, max_value=2),
+    )
+    @settings(max_examples=8, deadline=None)
+    def test_total_queries_never_exceed_budget(
+        self,
+        trained_cluster_model,
+        cluster_naturalness,
+        operational_cluster_data,
+        budget,
+        execution,
+        num_workers,
+    ):
+        data = operational_cluster_data
+        fuzzer = OperationalFuzzer(
+            naturalness=cluster_naturalness,
+            config=FuzzerConfig(
+                epsilon=0.12,
+                queries_per_seed=8,
+                naturalness_threshold=0.3,
+                execution=execution,
+                num_workers=num_workers,
+                stall_limit=4,
+            ),
+            natural_pool=data.x,
+        )
+        campaign = fuzzer.fuzz(
+            trained_cluster_model, data.x[:6], data.y[:6], budget=budget, rng=3
+        )
+        assert campaign.total_queries <= budget
+        assert campaign.total_queries == sum(r.queries for r in campaign.per_seed)
+        campaign.validate_budget(budget)  # must not raise
 
 
 # --------------------------------------------------------------------------- #
