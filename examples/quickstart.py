@@ -7,18 +7,24 @@ minute:
 2. define the operational profile (operation is dominated by one class),
 3. detect *operational* AEs with OP-weighted seeds + naturalness-guided fuzzing,
 4. retrain on what was found, and
-5. assess the delivered reliability before and after.
+5. assess the delivered reliability before and after,
+6. (bonus) checkpoint a campaign, "kill" it, and resume it bit-identically
+   over a warm persistent query cache.
 
 Run with:  python examples/quickstart.py
 """
 
 from __future__ import annotations
 
+import tempfile
+from pathlib import Path
+
 import numpy as np
 
 from repro.core import OperationalAEDetection
 from repro.data import build_partition_for_dataset, make_gaussian_clusters
 from repro.evaluation import format_table
+from repro.fuzzing import FuzzerConfig, OperationalFuzzer
 from repro.naturalness import default_naturalness_scorer
 from repro.nn import Adam, Trainer, TrainerConfig, accuracy, build_mlp_classifier
 from repro.op import ground_truth_profile_for_clusters, synthesize_operational_dataset
@@ -83,6 +89,65 @@ def main() -> None:
     ]
     print()
     print(format_table(rows, "delivered reliability (probability of misclassification per input)"))
+
+    # ------------------------------------------------------------------ #
+    # 6. the campaign store: interrupt-and-resume over a warm cache
+    # ------------------------------------------------------------------ #
+    # Long campaigns should survive the process: `cache_dir` makes the
+    # memoizing query cache durable (warm across runs and shareable across
+    # hosts via a common directory) and `checkpoint_every` snapshots the
+    # campaign so a killed run resumes bit-identically.
+    with tempfile.TemporaryDirectory() as store_dir:
+        store = Path(store_dir)
+        fuzz_config = FuzzerConfig(
+            queries_per_seed=25,
+            cache_dir=str(store / "cache"),
+            checkpoint_every=2,  # snapshot every 2 population rounds
+        )
+        seeds_x, seeds_y = operational_data.x[:12], operational_data.y[:12]
+        checkpoint = store / "campaign.ckpt"
+
+        fuzzer = OperationalFuzzer(naturalness, config=fuzz_config, natural_pool=operational_data.x)
+        first = fuzzer.fuzz(
+            model, seeds_x, seeds_y, budget=300, rng=SEED, checkpoint_path=str(checkpoint)
+        )
+        cold_calls = fuzzer.last_query_stats.model_calls
+
+        # pretend the campaign above was killed right after its last
+        # checkpoint: resume it and it replays the tail to the same result
+        resumed_fuzzer = OperationalFuzzer(
+            naturalness, config=fuzz_config, natural_pool=operational_data.x
+        )
+        resumed = resumed_fuzzer.fuzz(
+            model, seeds_x, seeds_y, budget=300, rng=SEED, resume_from=str(checkpoint)
+        )
+        same = (
+            len(first.adversarial_examples) == len(resumed.adversarial_examples)
+            and first.total_queries == resumed.total_queries
+        )
+        print()
+        print(
+            f"resumed campaign matches the uninterrupted one: {same} "
+            f"({len(resumed.adversarial_examples)} AEs, "
+            f"{resumed.total_queries} queries either way)"
+        )
+
+        # a brand-new process pointing at the same cache directory starts
+        # warm: identical logical results, strictly fewer physical calls
+        warm_fuzzer = OperationalFuzzer(
+            naturalness, config=fuzz_config, natural_pool=operational_data.x
+        )
+        warm_fuzzer.fuzz(model, seeds_x, seeds_y, budget=300, rng=SEED)
+        warm_calls = warm_fuzzer.last_query_stats.model_calls
+        print(
+            f"physical model calls — cold campaign: {cold_calls}, same campaign "
+            f"over the warm persistent cache: {warm_calls}"
+        )
+    # For whole testing-loop campaigns the same knobs live on
+    # `WorkflowConfig` (cache_dir / checkpoint_every) and on the CLI:
+    #   python -m repro run --scenario two-moons --cache-dir cache --checkpoint-every 1
+    #   python -m repro resume run-0001   # after an interruption
+    #   python -m repro show run-0001     # stored config, stats, estimates
 
 
 if __name__ == "__main__":

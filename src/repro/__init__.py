@@ -19,6 +19,8 @@ substrate it depends on:
 * :mod:`repro.reliability` — cell-based reliability assessment (RQ5).
 * :mod:`repro.core` — detection methods, comparison harness and the full loop.
 * :mod:`repro.evaluation` — experiment scenarios and reporting.
+* :mod:`repro.store` — persistent campaign store (durable query cache,
+  checkpoint/resume, run registry + ``python -m repro`` CLI).
 """
 
 from . import (
@@ -36,6 +38,7 @@ from . import (
     reliability,
     retraining,
     sampling,
+    store,
     types,
 )
 from .types import (
@@ -64,6 +67,7 @@ __all__ = [
     "reliability",
     "retraining",
     "sampling",
+    "store",
     "types",
     "AdversarialExample",
     "CampaignReport",

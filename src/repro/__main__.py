@@ -1,0 +1,8 @@
+"""Entry point for ``python -m repro`` (the campaign-store CLI)."""
+
+import sys
+
+from .store.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -8,7 +8,9 @@ construction and independent components can be seeded independently.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
+from pathlib import Path
 from typing import Optional, Union
 
 import numpy as np
@@ -82,3 +84,17 @@ DEFAULTS = GlobalConfig()
 def clip01(x: np.ndarray) -> np.ndarray:
     """Clip an array into the canonical ``[0, 1]`` input domain."""
     return np.clip(x, 0.0, 1.0)
+
+
+#: Environment variable overriding where ``python -m repro`` keeps its runs.
+RUNS_DIR_ENV = "REPRO_RUNS_DIR"
+
+
+def default_runs_dir() -> Path:
+    """Root of the run registry used by the CLI when ``--runs-dir`` is omitted.
+
+    Controlled by the ``REPRO_RUNS_DIR`` environment variable so shared
+    (cross-host) registries need no per-command flag; defaults to
+    ``./repro-runs``.
+    """
+    return Path(os.environ.get(RUNS_DIR_ENV, "repro-runs"))

@@ -22,6 +22,7 @@ variant.
 from __future__ import annotations
 
 import copy
+import dataclasses
 from dataclasses import dataclass, replace
 from typing import List, Optional, Tuple
 
@@ -30,8 +31,10 @@ import numpy as np
 from ..config import RngLike, ensure_rng
 from ..data.dataset import Dataset
 from ..data.partition import Partition, build_partition_for_dataset
+from ..engine.batching import QueryStats
 from ..exceptions import ConfigurationError
 from ..fuzzing.fuzzer import EXECUTION_MODES, FuzzerConfig, OperationalFuzzer
+from ..store.checkpoint import Checkpointer, campaign_fingerprint, read_checkpoint
 from ..naturalness.metrics import NaturalnessScorer, default_naturalness_scorer
 from ..nn.network import Sequential
 from ..op.profile import OperationalProfile
@@ -66,6 +69,16 @@ class WorkflowConfig:
         engines.
     num_workers:
         Worker processes used when ``engine="sharded"``.
+    cache_dir:
+        Directory of a durable :class:`repro.store.PersistentQueryCache`
+        shared by every fuzzing iteration of the loop.  Warm caches survive
+        the process (and can be shared across hosts via a common
+        directory); results are bit-identical, only physical model calls
+        shrink.
+    checkpoint_every:
+        Iterations between campaign checkpoints.  0 disables; a positive
+        value only takes effect when :meth:`OperationalTestingLoop.run` is
+        given a ``checkpoint_path``.
     """
 
     test_budget_per_iteration: int = 600
@@ -74,6 +87,8 @@ class WorkflowConfig:
     reassess_with_monte_carlo: bool = False
     engine: Optional[str] = None
     num_workers: int = 1
+    cache_dir: Optional[str] = None
+    checkpoint_every: int = 0
 
     def __post_init__(self) -> None:
         if self.test_budget_per_iteration <= 0:
@@ -88,6 +103,8 @@ class WorkflowConfig:
             )
         if self.num_workers <= 0:
             raise ConfigurationError("num_workers must be positive")
+        if self.checkpoint_every < 0:
+            raise ConfigurationError("checkpoint_every must be non-negative")
 
 
 class OperationalTestingLoop:
@@ -119,6 +136,10 @@ class OperationalTestingLoop:
                 self.fuzzer_config,
                 execution=self.config.engine,
                 num_workers=self.config.num_workers,
+            )
+        if self.config.cache_dir is not None:
+            self.fuzzer_config = replace(
+                self.fuzzer_config, cache_dir=self.config.cache_dir
             )
         self._rng = ensure_rng(rng)
 
@@ -156,6 +177,10 @@ class OperationalTestingLoop:
             profile=profile, reference=train_data
         )
         self.detected_aes: List[AdversarialExample] = []
+        #: Aggregated fuzzer engine accounting across the whole campaign.
+        self.query_stats = QueryStats()
+        #: Reliability estimate of the last completed assessment.
+        self.last_estimate: Optional[ReliabilityEstimate] = None
 
     # ------------------------------------------------------------------ #
     # the loop
@@ -165,6 +190,8 @@ class OperationalTestingLoop:
         model: Sequential,
         operational_data: Optional[Dataset] = None,
         in_place: bool = False,
+        checkpoint_path: Optional[str] = None,
+        resume_from: Optional[str] = None,
     ) -> Tuple[Sequential, CampaignReport]:
         """Run the loop until the stopping rule fires.
 
@@ -176,23 +203,91 @@ class OperationalTestingLoop:
         operational_data:
             Pre-built operational dataset (step 1 output); synthesised from
             the profile when omitted.
+        checkpoint_path:
+            Where to snapshot the campaign every
+            ``config.checkpoint_every`` iterations (model weights, detected
+            AEs, report, the campaign RNG's exact bit-generator state).
+        resume_from:
+            Checkpoint written by an earlier run of this campaign.  The
+            loop must be constructed with the same arguments (training
+            data, configs, RNG seed); the snapshot then restores the model
+            and the campaign RNG so the remaining iterations replay
+            bit-identically to an uninterrupted run — including every
+            subsequent reliability estimate.
         """
         current = model if in_place else copy.deepcopy(model)
         report = CampaignReport()
-        if operational_data is None:
-            operational_data = self.synthesizer.synthesize(
-                self.config.operational_dataset_size, rng=self._rng
+        # the fingerprint hashes configuration *values* (not reprs), so any
+        # object carrying the same knob settings identifies the same campaign
+        knobs = "|".join(
+            str(sorted(dataclasses.asdict(cfg).items()))
+            for cfg in (self.config, self.stopping_rule, self.fuzzer_config)
+        )
+        fingerprint = campaign_fingerprint(
+            self.train_data.x, self.train_data.y, extra=knobs
+        )
+        checkpointer = None
+        if checkpoint_path is not None and self.config.checkpoint_every > 0:
+            checkpointer = Checkpointer(
+                checkpoint_path,
+                every=self.config.checkpoint_every,
+                meta={"fingerprint": fingerprint, "kind": "workflow"},
             )
 
-        estimate_before = self.assessor.assess(current, operational_data, rng=self._rng)
-        total_test_cases = 0
+        if resume_from is not None:
+            payload = read_checkpoint(resume_from)
+            if payload.get("fingerprint") != fingerprint:
+                raise ConfigurationError(
+                    f"checkpoint {resume_from} belongs to a different campaign "
+                    "(training data or configuration differ)"
+                )
+            # restore every piece of mutable campaign state; the shared RNG
+            # object drives the sampler, fuzzer, retrainer and assessor, so
+            # restoring its bit-generator state resumes the exact stream
+            self._rng.bit_generator.state = payload["rng_state"]
+            current.set_weights(payload["model_weights"])
+            self.detected_aes = list(payload["detected_aes"])
+            self.query_stats = payload["query_stats"]
+            report = payload["report"]
+            operational_data = payload["operational_data"]
+            estimate_before = payload["estimate_before"]
+            total_test_cases = int(payload["total_test_cases"])
+            start_iteration = int(payload["next_iteration"])
+            self.last_estimate = estimate_before
+        else:
+            if operational_data is None:
+                operational_data = self.synthesizer.synthesize(
+                    self.config.operational_dataset_size, rng=self._rng
+                )
+            estimate_before = self.assessor.assess(
+                current, operational_data, rng=self._rng
+            )
+            self.last_estimate = estimate_before
+            total_test_cases = 0
+            start_iteration = 0
 
-        for iteration in range(self.stopping_rule.max_iterations):
+        for iteration in range(start_iteration, self.stopping_rule.max_iterations):
             iteration_report, current, estimate_after = self._run_iteration(
                 iteration, current, operational_data, estimate_before
             )
             total_test_cases += iteration_report.test_cases_used
             report.append(iteration_report)
+            self.last_estimate = estimate_after
+            if checkpointer is not None:
+                checkpointer.save_if_due(
+                    iteration + 1,
+                    lambda: {
+                        "next_iteration": iteration + 1,
+                        "rng_state": self._rng.bit_generator.state,
+                        "model_weights": current.get_weights(),
+                        "detected_aes": self.detected_aes,
+                        "query_stats": self.query_stats,
+                        "report": report,
+                        "operational_data": operational_data,
+                        "estimate_before": estimate_after,
+                        "total_test_cases": total_test_cases,
+                    },
+                )
             if self.stopping_rule.should_stop(estimate_after, iteration, total_test_cases):
                 break
             estimate_before = estimate_after
@@ -243,6 +338,7 @@ class OperationalTestingLoop:
             # batched-engine accounting: how many physical model calls (and
             # cache hits) the logical fuzzing budget actually cost
             stats = fuzzer.last_query_stats
+            self.query_stats.merge(stats)
             notes["fuzzer_model_calls"] = float(stats.model_calls + stats.gradient_calls)
             notes["fuzzer_rows_queried"] = float(stats.rows_queried + stats.gradient_rows)
             notes["fuzzer_cache_hits"] = float(stats.cache_hits)

@@ -24,6 +24,7 @@ caches) plugs in behind the same engine interface.
 from .batching import (
     DEFAULT_BATCH_SIZE,
     BatchedQueryEngine,
+    CacheBackend,
     QueryCache,
     QueryStats,
     as_query_engine,
@@ -47,6 +48,7 @@ from .population import (
 __all__ = [
     "DEFAULT_BATCH_SIZE",
     "BatchedQueryEngine",
+    "CacheBackend",
     "QueryCache",
     "QueryStats",
     "as_query_engine",

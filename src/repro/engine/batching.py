@@ -25,7 +25,7 @@ classifier (mutation operators, attacks, evaluators).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterator, Optional, Tuple
+from typing import Dict, Iterator, Mapping, Optional, Protocol, Tuple, runtime_checkable
 
 import numpy as np
 
@@ -76,6 +76,25 @@ class QueryStats:
             "naturalness_calls": self.naturalness_calls,
         }
 
+    def to_dict(self) -> Dict[str, int]:
+        """Serializable counter snapshot (the registry's stats.json format)."""
+        return self.as_dict()
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "QueryStats":
+        """Rebuild counters from :meth:`to_dict` output.
+
+        Unknown keys are rejected so a stats file written by a future (or
+        mangled) format fails loudly instead of dropping counters silently.
+        """
+        known = {f for f in cls.__dataclass_fields__}
+        unknown = set(data) - known
+        if unknown:
+            raise ConfigurationError(
+                f"unknown QueryStats fields: {sorted(unknown)}"
+            )
+        return cls(**{key: int(value) for key, value in data.items()})
+
     def merge(self, other: "QueryStats") -> "QueryStats":
         """Add another set of counters (e.g. one shard's) into this one.
 
@@ -91,6 +110,36 @@ class QueryStats:
         self.naturalness_rows += other.naturalness_rows
         self.naturalness_calls += other.naturalness_calls
         return self
+
+
+@runtime_checkable
+class CacheBackend(Protocol):
+    """Protocol a query-cache implementation must satisfy.
+
+    The engine only ever performs per-row gets and puts plus bulk clears, so
+    any object with these four methods can serve as the memoization layer —
+    the in-memory :class:`QueryCache` below, the durable
+    :class:`repro.store.PersistentQueryCache`, or a custom distributed
+    backend.  Implementations must be *exact*: a hit returns precisely the
+    array that was stored (results stay bit-identical with any backend, only
+    the number of physical model calls changes).
+    """
+
+    def get(self, row: np.ndarray) -> Optional[np.ndarray]:
+        """Return the cached value for ``row`` or ``None`` on a miss."""
+        ...
+
+    def put(self, row: np.ndarray, value: np.ndarray) -> None:
+        """Store ``value`` under ``row``."""
+        ...
+
+    def clear(self) -> None:
+        """Drop every entry."""
+        ...
+
+    def __len__(self) -> int:
+        """Number of stored entries."""
+        ...
 
 
 class QueryCache:
@@ -145,8 +194,11 @@ class BatchedQueryEngine:
         overhead; the default (4096) is a good laptop setting — see the
         engine section of the README for tuning guidance.
     cache:
-        ``True`` (default cache), ``False``/``None`` (no cache), or a
-        pre-built :class:`QueryCache` to share between engines.
+        ``True`` (default in-memory cache), ``False``/``None`` (no cache),
+        or a pre-built :class:`CacheBackend` instance — e.g. a
+        :class:`QueryCache` shared between engines, or a
+        :class:`repro.store.PersistentQueryCache` whose entries survive the
+        process and can be shared across hosts via a common directory.
     cache_max_entries:
         Capacity of the default cache when ``cache=True``.
     """
@@ -164,12 +216,17 @@ class BatchedQueryEngine:
         self.model = model
         self.naturalness = naturalness
         self.batch_size = int(batch_size)
-        if isinstance(cache, QueryCache):
-            self.cache: Optional[QueryCache] = cache
-        elif cache:
-            self.cache = QueryCache(max_entries=cache_max_entries)
+        if isinstance(cache, bool) or cache is None:
+            self.cache: Optional[CacheBackend] = (
+                QueryCache(max_entries=cache_max_entries) if cache else None
+            )
+        elif isinstance(cache, CacheBackend):
+            self.cache = cache
         else:
-            self.cache = None
+            raise ConfigurationError(
+                "cache must be a bool, None or a CacheBackend "
+                f"(get/put/clear/__len__), got {type(cache).__name__}"
+            )
         self.stats = QueryStats()
 
     # ------------------------------------------------------------------ #
@@ -305,6 +362,7 @@ def as_query_engine(
 __all__ = [
     "DEFAULT_BATCH_SIZE",
     "QueryStats",
+    "CacheBackend",
     "QueryCache",
     "BatchedQueryEngine",
     "as_query_engine",

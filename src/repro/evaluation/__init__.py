@@ -1,6 +1,12 @@
 """Experiment scenarios and plain-text reporting used by examples and benchmarks."""
 
-from .reporting import campaign_to_rows, format_table, summarize_series
+from .reporting import (
+    campaign_to_rows,
+    format_table,
+    render_stored_run,
+    run_summary_rows,
+    summarize_series,
+)
 from .scenarios import (
     Scenario,
     available_scenarios,
@@ -13,6 +19,8 @@ from .scenarios import (
 __all__ = [
     "campaign_to_rows",
     "format_table",
+    "render_stored_run",
+    "run_summary_rows",
     "summarize_series",
     "Scenario",
     "available_scenarios",

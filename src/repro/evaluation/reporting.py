@@ -7,10 +7,13 @@ any plotting dependencies.
 
 from __future__ import annotations
 
-from typing import Dict, List, Mapping, Sequence
+from typing import TYPE_CHECKING, Dict, List, Mapping, Sequence
 
 from ..exceptions import ConfigurationError
 from ..types import CampaignReport
+
+if TYPE_CHECKING:  # only for annotations; reporting stays import-light
+    from ..store.registry import StoredRun
 
 
 def format_table(rows: Sequence[Mapping[str, object]], title: str = "") -> str:
@@ -64,6 +67,57 @@ def campaign_to_rows(report: CampaignReport) -> List[Dict[str, object]]:
     return rows
 
 
+def run_summary_rows(runs: Sequence["StoredRun"]) -> List[Dict[str, object]]:
+    """One ``python -m repro ls`` row per stored run."""
+    rows: List[Dict[str, object]] = []
+    for run in runs:
+        row: Dict[str, object] = {
+            "run": run.run_id,
+            "name": run.name,
+            "status": run.status,
+        }
+        if run.has_report():
+            report = run.load_report()
+            row["iters"] = report.num_iterations
+            row["AEs"] = report.total_aes
+            row["final-pmi"] = round(report.final_pmi, 4)
+            row["target-met"] = report.target_met
+        rows.append(row)
+    return rows
+
+
+def render_stored_run(run: "StoredRun") -> str:
+    """Render one registry artifact (``python -m repro show``) as plain text."""
+    manifest = run.manifest
+    lines = [f"{run.run_id} ({run.name}) — {run.status}"]
+    config = manifest.get("config", {})
+    if config:
+        settings = ", ".join(
+            f"{key}={value}" for key, value in sorted(config.items()) if value is not None
+        )
+        lines.append(f"config: {settings}")
+    stats = run.load_stats()
+    if stats is not None:
+        lines.append("")
+        lines.append(format_table([stats.to_dict()], title="engine stats"))
+    if run.has_report():
+        report = run.load_report()
+        lines.append("")
+        lines.append(format_table(campaign_to_rows(report), title="campaign"))
+    detections = run.load_detections()
+    lines.append("")
+    lines.append(f"detections stored: {len(detections)}")
+    estimates = run.load_estimates()
+    if estimates:
+        rows = [
+            {"estimate": name, **estimate.to_dict()}
+            for name, estimate in sorted(estimates.items())
+        ]
+        lines.append("")
+        lines.append(format_table(rows, title="reliability estimates"))
+    return "\n".join(lines)
+
+
 def summarize_series(name: str, xs: Sequence[float], ys: Sequence[float]) -> str:
     """Render an (x, y) series as a compact one-line-per-point listing."""
     if len(xs) != len(ys):
@@ -74,4 +128,10 @@ def summarize_series(name: str, xs: Sequence[float], ys: Sequence[float]) -> str
     return "\n".join(lines)
 
 
-__all__ = ["format_table", "campaign_to_rows", "summarize_series"]
+__all__ = [
+    "format_table",
+    "campaign_to_rows",
+    "run_summary_rows",
+    "render_stored_run",
+    "summarize_series",
+]

@@ -53,5 +53,13 @@ class BudgetExhaustedError(ReproError):
     """A testing campaign ran out of its test-case budget."""
 
 
+class StoreError(ReproError):
+    """The persistent campaign store (cache, checkpoints, registry) failed."""
+
+
+class CheckpointError(StoreError):
+    """A campaign checkpoint is missing, corrupt or from a different campaign."""
+
+
 class ConvergenceError(ReproError):
     """An iterative procedure failed to converge within its iteration limit."""

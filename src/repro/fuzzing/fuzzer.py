@@ -64,6 +64,8 @@ from ..engine.population import (
 )
 from ..exceptions import FuzzingError
 from ..naturalness.metrics import NaturalnessScorer
+from ..store.cache import PersistentQueryCache
+from ..store.checkpoint import Checkpointer, campaign_fingerprint, read_checkpoint
 from ..types import AdversarialExample, Classifier
 from .mutations import MutationContext, MutationOperator, default_operators
 
@@ -123,6 +125,17 @@ class FuzzerConfig:
         physical calls (re-sampled seeds, re-visited candidates).
     cache_max_entries:
         Capacity of the memoizing cache.
+    cache_dir:
+        Directory of a durable :class:`repro.store.PersistentQueryCache`.
+        When set (and ``use_query_cache`` is true), the memoizing cache is
+        disk-backed: warm caches survive the process and can be shared
+        across hosts via a common directory.  Results stay bit-identical;
+        only ``QueryStats.model_calls`` shrinks on re-runs.
+    checkpoint_every:
+        Campaign-checkpoint cadence — population rounds (``"population"`` /
+        ``"sharded"``) or seeds (``"sequential"``) between snapshots.  0
+        disables checkpointing; a positive value only takes effect when
+        :meth:`OperationalFuzzer.fuzz` is given a ``checkpoint_path``.
     """
 
     epsilon: float = 0.1
@@ -141,6 +154,8 @@ class FuzzerConfig:
     batch_size: int = 4096
     use_query_cache: bool = True
     cache_max_entries: int = 65536
+    cache_dir: Optional[str] = None
+    checkpoint_every: int = 0
 
     def __post_init__(self) -> None:
         if self.epsilon <= 0:
@@ -171,6 +186,8 @@ class FuzzerConfig:
             raise FuzzingError("batch_size must be positive")
         if self.cache_max_entries <= 0:
             raise FuzzingError("cache_max_entries must be positive")
+        if self.checkpoint_every < 0:
+            raise FuzzingError("checkpoint_every must be non-negative")
 
 
 @dataclass
@@ -274,6 +291,8 @@ class OperationalFuzzer:
         op_densities: Optional[np.ndarray] = None,
         budget: Optional[int] = None,
         rng: RngLike = None,
+        checkpoint_path: Optional[str] = None,
+        resume_from: Optional[str] = None,
     ) -> FuzzCampaignResult:
         """Fuzz a batch of seeds and return every operational AE found.
 
@@ -292,6 +311,18 @@ class OperationalFuzzer:
             fuzzing stops once it is exhausted.
         rng:
             Seed or generator.
+        checkpoint_path:
+            Where to snapshot the campaign every
+            ``config.checkpoint_every`` rounds/seeds (atomic replace; see
+            :mod:`repro.store.checkpoint`).  ``None`` disables snapshots.
+        resume_from:
+            Path of a checkpoint written by an earlier (interrupted) run of
+            *this* campaign — same seeds, labels and control-flow config,
+            verified by fingerprint.  The campaign resumes from the snapshot
+            and produces detections, per-seed query counts and fitness
+            trajectories bit-identical to an uninterrupted run.  Population
+            and sharded execution share one checkpoint format, so a campaign
+            may resume under either backend.
         """
         seeds = np.atleast_2d(np.asarray(seeds, dtype=float))
         labels = np.atleast_1d(np.asarray(labels, dtype=int))
@@ -305,31 +336,96 @@ class OperationalFuzzer:
                 raise FuzzingError("op_densities must have one entry per seed")
         generator = ensure_rng(rng)
         cfg = self.config
+        kind = "sequential" if cfg.execution == "sequential" else "population"
+        # fingerprint everything that shapes the campaign's control flow:
+        # the inputs (seeds, labels, densities, the natural pool feeding the
+        # interpolation neighbours) and every config knob that changes what
+        # the campaign *does* — execution backend, batching and caching are
+        # deliberately excluded because they never change logical results
+        fingerprint_arrays = [seeds, labels]
+        if op_densities is not None:
+            fingerprint_arrays.append(op_densities)
+        if self._pool is not None:
+            fingerprint_arrays.append(self._pool)
+        fingerprint = campaign_fingerprint(
+            *fingerprint_arrays,
+            extra=(
+                f"{kind}:{cfg.epsilon}:{cfg.queries_per_seed}:"
+                f"{cfg.naturalness_threshold}:{cfg.loss_weight}:"
+                f"{cfg.naturalness_weight}:{cfg.use_gradient}:"
+                f"{cfg.gradient_probability}:{cfg.neighbour_count}:"
+                f"{cfg.min_energy}:{cfg.max_energy}:{cfg.stall_limit}:"
+                f"{budget}:densities={op_densities is not None}:"
+                f"pool={self._pool is not None}"
+            ),
+        )
+        resume_state: Optional[dict] = None
+        if resume_from is not None:
+            resume_state = read_checkpoint(resume_from)
+            if resume_state.get("fingerprint") != fingerprint:
+                raise FuzzingError(
+                    f"checkpoint {resume_from} belongs to a different campaign "
+                    "(seeds, labels or control-flow config differ)"
+                )
+        checkpointer = None
+        if checkpoint_path is not None and cfg.checkpoint_every > 0:
+            checkpointer = Checkpointer(
+                checkpoint_path,
+                every=cfg.checkpoint_every,
+                meta={"fingerprint": fingerprint, "kind": kind},
+            )
         energies = self._seed_energies(op_densities, len(seeds))
-        rngs = spawn_rngs(generator, len(seeds))
+        # on resume the snapshot carries every live RNG; do not consume the
+        # campaign generator so direct runs and resumed runs stay aligned
+        rngs = (
+            spawn_rngs(generator, len(seeds)) if resume_state is None else []
+        )
         nominal_budgets = [
             max(1, int(round(cfg.queries_per_seed * energies[i])))
             for i in range(len(seeds))
         ]
+        cache: object = cfg.use_query_cache
+        if cfg.use_query_cache and cfg.cache_dir is not None:
+            cache = PersistentQueryCache(cfg.cache_dir)
         with query_engine_session(
             model,
             naturalness=self.naturalness,
             batch_size=cfg.batch_size,
-            cache=cfg.use_query_cache,
+            cache=cache,
             cache_max_entries=cfg.cache_max_entries,
             engine="sharded" if cfg.execution == "sharded" else "batched",
             num_workers=cfg.num_workers if cfg.execution == "sharded" else 1,
         ) as engine:
             self.last_query_stats = engine.stats
+            if resume_state is not None:
+                # continue the interrupted campaign's accounting: counters
+                # restart from the snapshot, exactly as if never interrupted
+                engine.stats.merge(resume_state["stats"])
             if cfg.execution == "sequential":
                 result = self._fuzz_sequential(
-                    engine, seeds, labels, op_densities, budget, nominal_budgets, rngs
+                    engine,
+                    seeds,
+                    labels,
+                    op_densities,
+                    budget,
+                    nominal_budgets,
+                    rngs,
+                    checkpointer=checkpointer,
+                    resume_state=resume_state,
                 )
             else:
                 # "population" and "sharded" share the lock-step control
                 # flow; only the physical execution backend differs
                 result = self._fuzz_population(
-                    engine, seeds, labels, op_densities, budget, nominal_budgets, rngs
+                    engine,
+                    seeds,
+                    labels,
+                    op_densities,
+                    budget,
+                    nominal_budgets,
+                    rngs,
+                    checkpointer=checkpointer,
+                    resume_state=resume_state,
                 )
         result.validate_budget(budget)
         return result
@@ -346,22 +442,29 @@ class OperationalFuzzer:
         budget: Optional[int],
         nominal_budgets: List[int],
         rngs: List[np.random.Generator],
+        checkpointer=None,
+        resume_state: Optional[dict] = None,
     ) -> FuzzCampaignResult:
-        neighbours = self._natural_neighbours_batch(seeds)
-        tasks = [
-            SeedTask(
-                index=i,
-                seed=seeds[i],
-                label=int(labels[i]),
-                budget=nominal_budgets[i],
-                density=float(op_densities[i]) if op_densities is not None else None,
-                neighbours=neighbours[i],
-                rng=rngs[i],
-            )
-            for i in range(len(seeds))
-        ]
+        if resume_state is None:
+            neighbours = self._natural_neighbours_batch(seeds)
+            tasks = [
+                SeedTask(
+                    index=i,
+                    seed=seeds[i],
+                    label=int(labels[i]),
+                    budget=nominal_budgets[i],
+                    density=float(op_densities[i]) if op_densities is not None else None,
+                    neighbours=neighbours[i],
+                    rng=rngs[i],
+                )
+                for i in range(len(seeds))
+            ]
+        else:
+            tasks = []  # the snapshot carries every task's live state
         population = PopulationFuzzEngine(engine, self.config, self.operators)
-        outcomes = population.run(tasks, budget=budget)
+        outcomes = population.run(
+            tasks, budget=budget, checkpointer=checkpointer, resume_state=resume_state
+        )
         return FuzzCampaignResult(
             per_seed=[
                 SeedFuzzResult(
@@ -387,12 +490,32 @@ class OperationalFuzzer:
         budget: Optional[int],
         nominal_budgets: List[int],
         rngs: List[np.random.Generator],
+        checkpointer=None,
+        resume_state: Optional[dict] = None,
     ) -> FuzzCampaignResult:
         result = FuzzCampaignResult()
+        start = 0
         queries_remaining = budget if budget is not None else np.inf
-        for index, (seed, label) in enumerate(zip(seeds, labels)):
+        if resume_state is not None:
+            start = int(resume_state["next_index"])
+            result.per_seed = list(resume_state["per_seed"])
+            queries_remaining = resume_state["queries_remaining"]
+            rngs = list(resume_state["rngs"])
+        for index in range(start, len(seeds)):
+            if checkpointer is not None:
+                checkpointer.save_if_due(
+                    index,
+                    lambda: {
+                        "next_index": index,
+                        "per_seed": result.per_seed,
+                        "queries_remaining": queries_remaining,
+                        "rngs": rngs,
+                        "stats": engine.stats,
+                    },
+                )
             if queries_remaining <= 0:
                 break
+            seed, label = seeds[index], labels[index]
             seed_budget = nominal_budgets[index]
             if np.isfinite(queries_remaining):
                 seed_budget = min(seed_budget, int(queries_remaining))

@@ -9,12 +9,16 @@ keeps the archive format a plain, inspectable numpy file.
 from __future__ import annotations
 
 import os
-from typing import Dict, List
+from pathlib import Path
+from typing import Dict, List, Union
 
 import numpy as np
 
 from ..exceptions import ShapeError
 from .network import Sequential
+
+#: Paths are accepted as plain strings or any ``os.PathLike`` (``pathlib.Path``).
+PathLike = Union[str, os.PathLike]
 
 _KEY_SEPARATOR = "::"
 
@@ -47,17 +51,22 @@ def flat_dict_to_weights(flat: Dict[str, np.ndarray]) -> List[Dict[str, np.ndarr
     return [layered.get(i, {}) for i in range(max_index + 1)]
 
 
-def save_weights(network: Sequential, path: str) -> None:
-    """Save the network's parameters to ``path`` as a compressed ``.npz``."""
-    directory = os.path.dirname(os.path.abspath(path))
-    os.makedirs(directory, exist_ok=True)
+def save_weights(network: Sequential, path: PathLike) -> None:
+    """Save the network's parameters to ``path`` as a compressed ``.npz``.
+
+    ``path`` may be a string or a :class:`pathlib.Path`; missing parent
+    directories are created, so checkpoint/registry code can save straight
+    into fresh run directories.
+    """
+    path = Path(path)
+    path.resolve().parent.mkdir(parents=True, exist_ok=True)
     flat = weights_to_flat_dict(network.get_weights())
     np.savez_compressed(path, **flat)
 
 
-def load_weights(network: Sequential, path: str) -> None:
+def load_weights(network: Sequential, path: PathLike) -> None:
     """Load parameters saved by :func:`save_weights` into ``network`` in place."""
-    with np.load(path) as archive:
+    with np.load(Path(path)) as archive:
         flat = {key: archive[key] for key in archive.files}
     weights = flat_dict_to_weights(flat)
     # np.load drops empty dicts for parameter-free layers; pad to the layer count.

@@ -72,6 +72,30 @@ class ReliabilityEstimate:
         value = self.pmi_upper if conservative else self.pmi
         return value <= target_pmi
 
+    def to_dict(self) -> dict:
+        """JSON-serializable snapshot (the run registry's estimates format)."""
+        return {
+            "pmi": self.pmi,
+            "pmi_upper": self.pmi_upper,
+            "pmi_lower": self.pmi_lower,
+            "operational_accuracy": self.operational_accuracy,
+            "confidence": self.confidence,
+            "cells_evaluated": self.cells_evaluated,
+            "total_op_mass_evaluated": self.total_op_mass_evaluated,
+            "queries": self.queries,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ReliabilityEstimate":
+        """Rebuild an estimate saved with :meth:`to_dict` (exact round-trip)."""
+        known = set(cls.__dataclass_fields__)
+        unknown = set(data) - known
+        if unknown:
+            raise ReliabilityError(
+                f"unknown ReliabilityEstimate fields: {sorted(unknown)}"
+            )
+        return cls(**data)
+
 
 @dataclass
 class StoppingRule:

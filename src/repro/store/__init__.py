@@ -1,0 +1,42 @@
+"""Persistent campaign store: the durability layer behind the query engine.
+
+PRs 2–3 made model queries batched and sharded; this package makes campaigns
+*durable*.  Three clients share one design (chunked, content-addressed,
+append-only files behind a small API — the HSDS model):
+
+* :mod:`repro.store.cache` — :class:`PersistentQueryCache`, a durable
+  :class:`repro.engine.CacheBackend`: warm query caches survive the process
+  and can be shared across hosts via a common directory.
+* :mod:`repro.store.checkpoint` — atomic campaign checkpoints (per-seed RNG
+  streams, budgets, stall counters, ``QueryStats``) so an interrupted
+  campaign resumes bit-identical to an uninterrupted one.
+* :mod:`repro.store.registry` — :class:`RunRegistry`, which records every
+  campaign's config, engine stats, detections and reliability estimates as
+  queryable on-disk artifacts.
+
+The CLI surface over the registry lives in :mod:`repro.store.cli`
+(``python -m repro run|resume|ls|show|gc``); it is imported lazily by
+``repro.__main__`` rather than here, because it depends on the high-level
+workflow and scenario packages.
+"""
+
+from .cache import DEFAULT_MAX_SEGMENT_BYTES, PersistentQueryCache
+from .checkpoint import (
+    Checkpointer,
+    campaign_fingerprint,
+    read_checkpoint,
+    write_checkpoint,
+)
+from .registry import RUN_STATUSES, RunRegistry, StoredRun
+
+__all__ = [
+    "DEFAULT_MAX_SEGMENT_BYTES",
+    "PersistentQueryCache",
+    "Checkpointer",
+    "campaign_fingerprint",
+    "read_checkpoint",
+    "write_checkpoint",
+    "RUN_STATUSES",
+    "RunRegistry",
+    "StoredRun",
+]

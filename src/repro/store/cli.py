@@ -1,0 +1,237 @@
+"""``python -m repro`` — run, resume and query testing campaigns.
+
+The service surface over the campaign store:
+
+``run``
+    Prepare a named scenario, run the operational testing loop with
+    checkpointing and a (optionally durable) query cache, and record the
+    campaign — config, engine stats, detections, reliability estimates,
+    iteration report — as a registry artifact.
+``resume``
+    Pick up an interrupted run from its checkpoint.  The scenario and loop
+    are rebuilt from the recorded config (same seed), so the resumed
+    campaign continues bit-identically.
+``ls``
+    List registered runs.
+``show``
+    Render one stored run (config, stats, iteration table, estimates).
+``gc``
+    Delete stored runs by status and/or count.
+
+Every command takes ``--runs-dir`` (default: ``./repro-runs``, overridable
+via ``REPRO_RUNS_DIR``), so several hosts can share one registry directory.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from ..config import default_runs_dir
+from ..exceptions import ReproError
+from .registry import RUN_STATUSES, RunRegistry, StoredRun
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Run and query operational-testing campaigns.",
+    )
+    parser.add_argument(
+        "--runs-dir",
+        default=None,
+        help="run-registry root (default: ./repro-runs or $REPRO_RUNS_DIR)",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    run = commands.add_parser("run", help="run a campaign on a named scenario")
+    run.add_argument("--scenario", default="two-moons",
+                     help="scenario name (see repro.evaluation.available_scenarios)")
+    run.add_argument("--name", default=None, help="registry name (default: scenario)")
+    run.add_argument("--seed", type=int, default=2021, help="campaign RNG seed")
+    run.add_argument("--samples", type=int, default=None,
+                     help="scenario dataset size override (smaller = faster)")
+    run.add_argument("--epochs", type=int, default=None,
+                     help="scenario model-training epochs override")
+    run.add_argument("--iterations", type=int, default=3, help="loop iteration cap")
+    run.add_argument("--budget", type=int, default=300,
+                     help="fuzzing query budget per iteration")
+    run.add_argument("--seeds-per-iteration", type=int, default=10)
+    run.add_argument("--queries-per-seed", type=int, default=20)
+    run.add_argument("--target-pmi", type=float, default=0.02)
+    run.add_argument("--engine", default=None,
+                     choices=("sequential", "population", "sharded"),
+                     help="execution engine for the whole loop")
+    run.add_argument("--workers", type=int, default=1,
+                     help="worker processes for --engine sharded")
+    run.add_argument("--cache-dir", default=None,
+                     help="durable query-cache directory (warm across runs/hosts)")
+    run.add_argument("--checkpoint-every", type=int, default=1,
+                     help="iterations between checkpoints (0 disables)")
+
+    resume = commands.add_parser("resume", help="resume an interrupted run")
+    resume.add_argument("run_id", help="registry id, e.g. run-0001")
+
+    commands.add_parser("ls", help="list registered runs")
+
+    show = commands.add_parser("show", help="render one stored run")
+    show.add_argument("run_id", help="registry id, e.g. run-0001")
+
+    gc = commands.add_parser("gc", help="delete stored runs")
+    gc.add_argument("--status", default=None, choices=RUN_STATUSES,
+                    help="only delete runs in this state")
+    gc.add_argument("--keep", type=int, default=None,
+                    help="spare the newest KEEP matching runs")
+    return parser
+
+
+# --------------------------------------------------------------------------- #
+# campaign construction (shared by run and resume)
+# --------------------------------------------------------------------------- #
+def _build_campaign(config: dict):
+    """Rebuild (scenario, loop) from a recorded run config, deterministically."""
+    # imported here (not module top) so `ls`/`show`/`gc` stay snappy and the
+    # store package never depends on the high-level packages at import time
+    from ..core.workflow import OperationalTestingLoop, WorkflowConfig
+    from ..evaluation.scenarios import make_scenario
+    from ..fuzzing.fuzzer import FuzzerConfig
+    from ..reliability.assessment import StoppingRule
+
+    overrides = {}
+    if config.get("samples") is not None:
+        overrides["num_samples"] = int(config["samples"])
+    if config.get("epochs") is not None:
+        overrides["epochs"] = int(config["epochs"])
+    scenario = make_scenario(config["scenario"], rng=int(config["seed"]), **overrides)
+    loop = OperationalTestingLoop(
+        profile=scenario.profile,
+        train_data=scenario.train_data,
+        partition=scenario.partition,
+        naturalness=scenario.naturalness,
+        fuzzer_config=FuzzerConfig(queries_per_seed=int(config["queries_per_seed"])),
+        stopping_rule=StoppingRule(
+            target_pmi=float(config["target_pmi"]),
+            max_iterations=int(config["iterations"]),
+        ),
+        workflow_config=WorkflowConfig(
+            test_budget_per_iteration=int(config["budget"]),
+            seeds_per_iteration=int(config["seeds_per_iteration"]),
+            engine=config.get("engine"),
+            num_workers=int(config.get("workers", 1)),
+            cache_dir=config.get("cache_dir"),
+            checkpoint_every=int(config.get("checkpoint_every", 1)),
+        ),
+        rng=int(config["seed"]),
+    )
+    return scenario, loop
+
+
+def _execute(run: StoredRun, resume: bool) -> None:
+    """Run (or resume) the campaign recorded in ``run`` and store its artifacts."""
+    resume_from = None
+    if resume:
+        if not run.checkpoint_path.exists():
+            raise ReproError(
+                f"{run.run_id} has no checkpoint to resume from; "
+                "re-run it with --checkpoint-every > 0"
+            )
+        resume_from = str(run.checkpoint_path)
+    try:
+        scenario, loop = _build_campaign(run.config)
+        _, report = loop.run(
+            scenario.model,
+            operational_data=scenario.operational_data,
+            checkpoint_path=str(run.checkpoint_path),
+            resume_from=resume_from,
+        )
+    except BaseException:
+        run.set_status("failed")
+        raise
+    run.save_report(report)
+    run.save_detections(loop.detected_aes)
+    run.save_stats(loop.query_stats)
+    if loop.last_estimate is not None:
+        run.save_estimates({"final": loop.last_estimate})
+    run.finish("completed")
+    print(f"{run.run_id}: completed — {report.total_aes} AEs over "
+          f"{report.num_iterations} iterations, final pmi {report.final_pmi:.4f}")
+
+
+# --------------------------------------------------------------------------- #
+# commands
+# --------------------------------------------------------------------------- #
+def _cmd_run(registry: RunRegistry, args: argparse.Namespace) -> int:
+    config = {
+        "scenario": args.scenario,
+        "seed": args.seed,
+        "samples": args.samples,
+        "epochs": args.epochs,
+        "iterations": args.iterations,
+        "budget": args.budget,
+        "seeds_per_iteration": args.seeds_per_iteration,
+        "queries_per_seed": args.queries_per_seed,
+        "target_pmi": args.target_pmi,
+        "engine": args.engine,
+        "workers": args.workers,
+        "cache_dir": args.cache_dir,
+        "checkpoint_every": args.checkpoint_every,
+    }
+    run = registry.create(args.name or args.scenario, config)
+    print(f"registered {run.run_id} ({run.name}) under {registry.root}")
+    _execute(run, resume=False)
+    return 0
+
+
+def _cmd_resume(registry: RunRegistry, args: argparse.Namespace) -> int:
+    run = registry.get(args.run_id)
+    if run.status == "completed":
+        print(f"{run.run_id} already completed; nothing to resume")
+        return 0
+    _execute(run, resume=True)
+    return 0
+
+
+def _cmd_ls(registry: RunRegistry, args: argparse.Namespace) -> int:
+    from ..evaluation.reporting import format_table, run_summary_rows
+
+    print(format_table(run_summary_rows(registry.runs()), title=f"runs in {registry.root}"))
+    return 0
+
+
+def _cmd_show(registry: RunRegistry, args: argparse.Namespace) -> int:
+    from ..evaluation.reporting import render_stored_run
+
+    print(render_stored_run(registry.get(args.run_id)))
+    return 0
+
+
+def _cmd_gc(registry: RunRegistry, args: argparse.Namespace) -> int:
+    removed = registry.gc(keep=args.keep, status=args.status)
+    if removed:
+        print("removed " + ", ".join(removed))
+    else:
+        print("nothing to remove")
+    return 0
+
+
+_COMMANDS = {
+    "run": _cmd_run,
+    "resume": _cmd_resume,
+    "ls": _cmd_ls,
+    "show": _cmd_show,
+    "gc": _cmd_gc,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    registry = RunRegistry(args.runs_dir if args.runs_dir else default_runs_dir())
+    try:
+        return _COMMANDS[args.command](registry, args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+__all__ = ["main"]

@@ -1,0 +1,314 @@
+"""Run registry: every campaign becomes a queryable on-disk artifact.
+
+A *run* is one testing campaign (one ``OperationalTestingLoop.run`` or one
+CLI invocation).  The registry gives each run a directory under a common
+root and records everything the campaign produced as plain, inspectable
+files:
+
+``run.json``
+    Identity + configuration + lifecycle status (``running`` → ``completed``
+    / ``failed``).
+``report.json``
+    The full :class:`repro.types.CampaignReport` (one record per loop
+    iteration, including the engine-accounting notes).
+``stats.json``
+    Aggregated :class:`repro.engine.QueryStats` of the campaign's fuzzing.
+``estimates.json``
+    Named :class:`repro.reliability.ReliabilityEstimate` snapshots
+    (typically ``before`` and ``after``).
+``detections.npz``
+    Every detected adversarial example as dense arrays (seeds, perturbed
+    inputs, labels, distances, naturalness, OP density, per-AE queries) —
+    loadable without the library, round-trippable with it.
+``checkpoint.pkl``
+    The campaign's live checkpoint while it runs (see
+    :mod:`repro.store.checkpoint`); ``python -m repro resume`` picks it up.
+
+Everything is stdlib + NumPy; JSON for metadata, ``.npz`` for bulk arrays,
+in keeping with the HSDS idea of a simple chunked store behind a service
+surface (here: the :mod:`repro.store.cli` commands).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import shutil
+import time
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+import numpy as np
+
+from ..engine.batching import QueryStats
+from ..exceptions import StoreError
+from ..reliability.assessment import ReliabilityEstimate
+from ..types import AdversarialExample, CampaignReport, IterationReport
+
+#: Lifecycle states a run moves through.
+RUN_STATUSES = ("running", "completed", "failed")
+
+
+def _read_json(path: Path) -> dict:
+    try:
+        return json.loads(path.read_text())
+    except FileNotFoundError:
+        raise StoreError(f"missing registry file {path}") from None
+    except json.JSONDecodeError as exc:
+        raise StoreError(f"corrupt registry file {path}: {exc}") from exc
+
+
+def _write_json(path: Path, data: dict) -> None:
+    tmp = path.with_name(path.name + ".tmp")
+    tmp.write_text(json.dumps(data, indent=2, sort_keys=True))
+    tmp.replace(path)
+
+
+class StoredRun:
+    """Handle to one run directory (both the writer's and the reader's view)."""
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+        if not (self.path / "run.json").exists():
+            raise StoreError(f"{self.path} is not a registered run")
+
+    # ------------------------------------------------------------------ #
+    # identity / lifecycle
+    # ------------------------------------------------------------------ #
+    @property
+    def run_id(self) -> str:
+        return self.path.name
+
+    @property
+    def manifest(self) -> dict:
+        return _read_json(self.path / "run.json")
+
+    @property
+    def config(self) -> dict:
+        return self.manifest.get("config", {})
+
+    @property
+    def name(self) -> str:
+        return str(self.manifest.get("name", self.run_id))
+
+    @property
+    def status(self) -> str:
+        return str(self.manifest.get("status", "running"))
+
+    @property
+    def checkpoint_path(self) -> Path:
+        return self.path / "checkpoint.pkl"
+
+    def set_status(self, status: str) -> None:
+        if status not in RUN_STATUSES:
+            raise StoreError(f"status must be one of {RUN_STATUSES}, got {status!r}")
+        manifest = self.manifest
+        manifest["status"] = status
+        manifest["updated_at"] = time.time()
+        _write_json(self.path / "run.json", manifest)
+
+    def finish(self, status: str = "completed") -> None:
+        self.set_status(status)
+
+    # ------------------------------------------------------------------ #
+    # campaign report
+    # ------------------------------------------------------------------ #
+    def save_report(self, report: CampaignReport) -> None:
+        _write_json(
+            self.path / "report.json",
+            {
+                "iterations": [dataclasses.asdict(it) for it in report.iterations],
+                "total_test_cases": report.total_test_cases,
+                "total_aes": report.total_aes,
+                "final_pmi": report.final_pmi,
+                "target_met": report.target_met,
+            },
+        )
+
+    def load_report(self) -> CampaignReport:
+        data = _read_json(self.path / "report.json")
+        report = CampaignReport()
+        for record in data["iterations"]:
+            report.iterations.append(IterationReport(**record))
+        report.total_test_cases = int(data["total_test_cases"])
+        report.total_aes = int(data["total_aes"])
+        report.final_pmi = float(data["final_pmi"])
+        report.target_met = bool(data["target_met"])
+        return report
+
+    def has_report(self) -> bool:
+        return (self.path / "report.json").exists()
+
+    # ------------------------------------------------------------------ #
+    # engine stats
+    # ------------------------------------------------------------------ #
+    def save_stats(self, stats: QueryStats) -> None:
+        _write_json(self.path / "stats.json", stats.to_dict())
+
+    def load_stats(self) -> Optional[QueryStats]:
+        path = self.path / "stats.json"
+        if not path.exists():
+            return None
+        return QueryStats.from_dict(_read_json(path))
+
+    # ------------------------------------------------------------------ #
+    # reliability estimates
+    # ------------------------------------------------------------------ #
+    def save_estimates(self, estimates: Dict[str, ReliabilityEstimate]) -> None:
+        _write_json(
+            self.path / "estimates.json",
+            {name: estimate.to_dict() for name, estimate in estimates.items()},
+        )
+
+    def load_estimates(self) -> Dict[str, ReliabilityEstimate]:
+        path = self.path / "estimates.json"
+        if not path.exists():
+            return {}
+        return {
+            name: ReliabilityEstimate.from_dict(record)
+            for name, record in _read_json(path).items()
+        }
+
+    # ------------------------------------------------------------------ #
+    # detections
+    # ------------------------------------------------------------------ #
+    def save_detections(self, detections: List[AdversarialExample]) -> None:
+        if detections:
+            arrays = {
+                "seeds": np.stack([ae.seed for ae in detections]),
+                "perturbed": np.stack([ae.perturbed for ae in detections]),
+                "true_labels": np.array([ae.true_label for ae in detections], dtype=int),
+                "predicted_labels": np.array(
+                    [ae.predicted_label for ae in detections], dtype=int
+                ),
+                "distances": np.array([ae.distance for ae in detections], dtype=float),
+                # None metadata becomes NaN in the dense layout; the loader
+                # restores None so the round-trip is exact for consumers
+                "naturalness": np.array(
+                    [np.nan if ae.naturalness is None else ae.naturalness for ae in detections],
+                    dtype=float,
+                ),
+                "op_density": np.array(
+                    [np.nan if ae.op_density is None else ae.op_density for ae in detections],
+                    dtype=float,
+                ),
+                "queries": np.array([ae.queries for ae in detections], dtype=int),
+                "methods": np.array([ae.method for ae in detections]),
+            }
+        else:
+            arrays = {
+                "seeds": np.zeros((0, 0)),
+                "perturbed": np.zeros((0, 0)),
+                "true_labels": np.zeros(0, dtype=int),
+                "predicted_labels": np.zeros(0, dtype=int),
+                "distances": np.zeros(0),
+                "naturalness": np.zeros(0),
+                "op_density": np.zeros(0),
+                "queries": np.zeros(0, dtype=int),
+                "methods": np.array([], dtype="U1"),
+            }
+        np.savez_compressed(self.path / "detections.npz", **arrays)
+
+    def load_detections(self) -> List[AdversarialExample]:
+        path = self.path / "detections.npz"
+        if not path.exists():
+            return []
+        with np.load(path, allow_pickle=False) as archive:
+            count = len(archive["true_labels"])
+            return [
+                AdversarialExample(
+                    seed=archive["seeds"][i],
+                    perturbed=archive["perturbed"][i],
+                    true_label=int(archive["true_labels"][i]),
+                    predicted_label=int(archive["predicted_labels"][i]),
+                    distance=float(archive["distances"][i]),
+                    naturalness=(
+                        None
+                        if np.isnan(archive["naturalness"][i])
+                        else float(archive["naturalness"][i])
+                    ),
+                    op_density=(
+                        None
+                        if np.isnan(archive["op_density"][i])
+                        else float(archive["op_density"][i])
+                    ),
+                    method=str(archive["methods"][i]),
+                    queries=int(archive["queries"][i]),
+                )
+                for i in range(count)
+            ]
+
+
+class RunRegistry:
+    """Creates, lists, loads and garbage-collects runs under one root."""
+
+    def __init__(self, root: Union[str, Path]) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def create(self, name: str, config: Optional[dict] = None) -> StoredRun:
+        """Register a new run directory with a fresh sequential id."""
+        existing = [
+            int(p.name.split("-", 1)[1])
+            for p in self.root.iterdir()
+            if p.is_dir() and p.name.startswith("run-") and p.name[4:].isdigit()
+        ]
+        run_id = f"run-{(max(existing) + 1 if existing else 1):04d}"
+        path = self.root / run_id
+        path.mkdir()
+        _write_json(
+            path / "run.json",
+            {
+                "run_id": run_id,
+                "name": name,
+                "status": "running",
+                "config": config or {},
+                "created_at": time.time(),
+                "updated_at": time.time(),
+            },
+        )
+        return StoredRun(path)
+
+    def get(self, run_id: str) -> StoredRun:
+        path = self.root / run_id
+        if not path.is_dir():
+            raise StoreError(f"unknown run {run_id!r} under {self.root}")
+        return StoredRun(path)
+
+    def runs(self) -> List[StoredRun]:
+        """Every registered run, oldest first (ids are sequential)."""
+        return [
+            StoredRun(p)
+            for p in sorted(self.root.iterdir())
+            if p.is_dir() and (p / "run.json").exists()
+        ]
+
+    def gc(
+        self, keep: Optional[int] = None, status: Optional[str] = None
+    ) -> List[str]:
+        """Delete runs; returns the removed ids.
+
+        ``status`` restricts collection to runs in that state (e.g. clear
+        out ``failed`` campaigns); ``keep`` spares the newest ``keep``
+        candidates.  At least one selector is required — a bare ``gc()``
+        deleting everything would be a foot-gun, not a feature.
+        """
+        if keep is None and status is None:
+            raise StoreError("gc requires keep and/or status (refusing to drop everything)")
+        candidates = self.runs()
+        if status is not None:
+            if status not in RUN_STATUSES:
+                raise StoreError(f"status must be one of {RUN_STATUSES}, got {status!r}")
+            candidates = [run for run in candidates if run.status == status]
+        if keep is not None:
+            if keep < 0:
+                raise StoreError("keep must be non-negative")
+            candidates = candidates[: max(0, len(candidates) - keep)]
+        removed = []
+        for run in candidates:
+            shutil.rmtree(run.path)
+            removed.append(run.run_id)
+        return removed
+
+
+__all__ = ["RUN_STATUSES", "StoredRun", "RunRegistry"]

@@ -113,6 +113,35 @@ class TestSerialization:
         with pytest.raises(ShapeError):
             load_weights(other, path)
 
+    def test_save_load_accepts_pathlib_path(self, tmp_path):
+        model = build_mlp_classifier(6, 3, hidden_sizes=(8,), rng=0)
+        x = np.random.default_rng(0).random((4, 6))
+        expected = model.predict_logits(x)
+        path = tmp_path / "model.npz"  # pathlib.Path, not str
+        save_weights(model, path)
+        other = build_mlp_classifier(6, 3, hidden_sizes=(8,), rng=99)
+        load_weights(other, path)
+        np.testing.assert_allclose(expected, other.predict_logits(x))
+
+    def test_save_creates_missing_parent_directories_for_path(self, tmp_path):
+        model = build_mlp_classifier(4, 2, hidden_sizes=(5,), rng=0)
+        path = tmp_path / "a" / "b" / "c" / "model.npz"  # none of a/b/c exist
+        save_weights(model, path)
+        assert path.exists()
+        other = build_mlp_classifier(4, 2, hidden_sizes=(5,), rng=1)
+        load_weights(other, path)
+        x = np.random.default_rng(2).random((3, 4))
+        np.testing.assert_allclose(model.predict_logits(x), other.predict_logits(x))
+
+    def test_save_relative_path_without_directory(self, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        model = build_mlp_classifier(4, 2, hidden_sizes=(5,), rng=0)
+        save_weights(model, "bare.npz")  # no parent component at all
+        other = build_mlp_classifier(4, 2, hidden_sizes=(5,), rng=1)
+        load_weights(other, "bare.npz")
+        x = np.random.default_rng(2).random((3, 4))
+        np.testing.assert_allclose(model.predict_logits(x), other.predict_logits(x))
+
 
 class TestAutoencoder:
     def test_fit_reduces_reconstruction_error(self):

@@ -1,0 +1,853 @@
+"""Tests for repro.store: durable cache, checkpoint/resume, registry + CLI."""
+
+import json
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.core import OperationalTestingLoop, WorkflowConfig
+from repro.engine import BatchedQueryEngine, CacheBackend, QueryCache, QueryStats
+from repro.exceptions import (
+    CheckpointError,
+    ConfigurationError,
+    FuzzingError,
+    ReliabilityError,
+    StoreError,
+)
+from repro.fuzzing import FuzzerConfig, OperationalFuzzer
+from repro.reliability import ReliabilityEstimate, StoppingRule
+from repro.retraining import RetrainingConfig
+from repro.store import (
+    Checkpointer,
+    PersistentQueryCache,
+    RunRegistry,
+    campaign_fingerprint,
+    read_checkpoint,
+    write_checkpoint,
+)
+from repro.store.cli import main as cli_main
+from repro.types import AdversarialExample, CampaignReport, IterationReport
+
+
+class _ExplodingModel:
+    """Wrapper that dies after a fixed number of physical predict calls.
+
+    Picklable (module level) so it can be shipped to sharded workers; each
+    replica then carries its own countdown, which is fine — the tests only
+    need *some* mid-campaign crash, not a deterministic one.
+    """
+
+    def __init__(self, inner, fail_after: int) -> None:
+        self.inner = inner
+        self.fail_after = fail_after
+
+    def predict_proba(self, x):
+        self.fail_after -= 1
+        if self.fail_after < 0:
+            raise RuntimeError("killed mid-campaign")
+        return self.inner.predict_proba(x)
+
+    def predict(self, x):
+        return self.predict_proba(x).argmax(axis=1)
+
+    def loss_input_gradient(self, x, y):
+        return self.inner.loss_input_gradient(x, y)
+
+
+class _KillingRule(StoppingRule):
+    """Stopping rule that crashes the loop after ``kill_after`` iterations.
+
+    Carries no extra dataclass fields, so its configuration values — and
+    therefore the campaign fingerprint — match a plain StoppingRule.
+    """
+
+    kill_after = 1
+
+    def should_stop(self, estimate, iteration, test_cases_used):
+        if iteration >= self.kill_after:
+            raise RuntimeError("killed mid-campaign")
+        return super().should_stop(estimate, iteration, test_cases_used)
+
+
+def _campaign_summary(campaign):
+    """Bit-comparable digest of a fuzzing campaign's logical outcome."""
+    return [
+        (
+            r.seed_index,
+            r.queries,
+            r.best_fitness,
+            r.candidates_rejected_by_naturalness,
+            None
+            if r.adversarial_example is None
+            else r.adversarial_example.perturbed.tobytes(),
+        )
+        for r in campaign.per_seed
+    ]
+
+
+# --------------------------------------------------------------------------- #
+# persistent query cache
+# --------------------------------------------------------------------------- #
+class TestPersistentQueryCache:
+    def test_satisfies_cache_backend_protocol(self, tmp_path):
+        assert isinstance(PersistentQueryCache(tmp_path), CacheBackend)
+        assert isinstance(QueryCache(), CacheBackend)
+
+    def test_put_get_roundtrip_is_exact(self, tmp_path):
+        cache = PersistentQueryCache(tmp_path)
+        row = np.random.default_rng(0).random(7)
+        value = np.random.default_rng(1).random(4)
+        assert cache.get(row) is None
+        cache.put(row, value)
+        np.testing.assert_array_equal(cache.get(row), value)
+        assert len(cache) == 1
+
+    def test_content_addressing_dedupes_identical_rows(self, tmp_path):
+        cache = PersistentQueryCache(tmp_path)
+        row = np.ones(3)
+        cache.put(row, np.zeros(2))
+        cache.put(row.copy(), np.zeros(2))
+        assert len(cache) == 1
+
+    def test_entries_survive_reopen(self, tmp_path):
+        rng = np.random.default_rng(2)
+        rows = rng.random((5, 3))
+        with PersistentQueryCache(tmp_path) as cache:
+            for i, row in enumerate(rows):
+                cache.put(row, np.full(2, float(i)))
+        reopened = PersistentQueryCache(tmp_path)
+        assert len(reopened) == 5
+        for i, row in enumerate(rows):
+            np.testing.assert_array_equal(reopened.get(row), np.full(2, float(i)))
+
+    def test_segment_rotation_keeps_entries_readable(self, tmp_path):
+        cache = PersistentQueryCache(tmp_path, max_segment_bytes=128)
+        rows = np.random.default_rng(3).random((10, 4))
+        for i, row in enumerate(rows):
+            cache.put(row, np.full(3, float(i)))
+        cache.close()
+        segments = list((tmp_path / "segments").glob("seg-*.bin"))
+        assert len(segments) > 1  # tiny threshold must have rotated
+        reopened = PersistentQueryCache(tmp_path)
+        assert len(reopened) == 10
+        for i, row in enumerate(rows):
+            np.testing.assert_array_equal(reopened.get(row), np.full(3, float(i)))
+
+    def test_torn_tail_record_is_ignored(self, tmp_path):
+        with PersistentQueryCache(tmp_path) as cache:
+            cache.put(np.arange(3.0), np.arange(2.0))
+            segment = cache._own_segment
+        # simulate a writer killed mid-append: a partial record at the tail
+        with open(segment, "ab") as handle:
+            handle.write(b"RPC1\x10\x00\x00\x00\x10\x00\x00\x00partial")
+        reopened = PersistentQueryCache(tmp_path)
+        assert len(reopened) == 1
+        np.testing.assert_array_equal(reopened.get(np.arange(3.0)), np.arange(2.0))
+
+    def test_refresh_picks_up_other_writers(self, tmp_path):
+        reader = PersistentQueryCache(tmp_path)
+        writer = PersistentQueryCache(tmp_path)  # simulates another process
+        writer.put(np.arange(4.0), np.arange(2.0))
+        assert reader.get(np.arange(4.0)) is None  # not seen yet
+        assert reader.refresh() == 1
+        np.testing.assert_array_equal(reader.get(np.arange(4.0)), np.arange(2.0))
+
+    def test_clear_removes_durable_entries(self, tmp_path):
+        cache = PersistentQueryCache(tmp_path)
+        cache.put(np.arange(3.0), np.arange(2.0))
+        cache.clear()
+        assert len(cache) == 0
+        assert len(PersistentQueryCache(tmp_path)) == 0
+
+    def test_rejects_bad_segment_size(self, tmp_path):
+        with pytest.raises(StoreError):
+            PersistentQueryCache(tmp_path, max_segment_bytes=0)
+
+    def test_engine_rejects_non_backend_cache(self, trained_cluster_model):
+        with pytest.raises(ConfigurationError):
+            BatchedQueryEngine(trained_cluster_model, cache=object())
+
+
+class TestDiskBackedEngineEquivalence:
+    def test_disk_cache_bit_identical_and_fewer_calls(
+        self, tmp_path, trained_cluster_model, operational_cluster_data
+    ):
+        x = operational_cluster_data.x[:64]
+        plain = BatchedQueryEngine(trained_cluster_model, batch_size=16)
+        cold = BatchedQueryEngine(
+            trained_cluster_model,
+            batch_size=16,
+            cache=PersistentQueryCache(tmp_path),
+        )
+        np.testing.assert_array_equal(cold.predict_proba(x), plain.predict_proba(x))
+        assert cold.stats.model_calls == plain.stats.model_calls
+        # a second engine over the same directory simulates a second process
+        # reusing the persistent cache: strictly fewer physical calls,
+        # bit-identical logical results
+        warm = BatchedQueryEngine(
+            trained_cluster_model,
+            batch_size=16,
+            cache=PersistentQueryCache(tmp_path),
+        )
+        np.testing.assert_array_equal(warm.predict_proba(x), plain.predict_proba(x))
+        assert warm.stats.model_calls < cold.stats.model_calls
+        assert warm.stats.model_calls == 0
+        assert warm.stats.cache_hits == len(x)
+
+    def test_warm_campaign_identical_with_fewer_physical_calls(
+        self, tmp_path, trained_cluster_model, cluster_naturalness, operational_cluster_data
+    ):
+        data = operational_cluster_data
+        cfg = FuzzerConfig(
+            epsilon=0.12,
+            queries_per_seed=8,
+            naturalness_threshold=0.3,
+            cache_dir=str(tmp_path / "cache"),
+        )
+        first_fuzzer = OperationalFuzzer(cluster_naturalness, config=cfg, natural_pool=data.x)
+        first = first_fuzzer.fuzz(trained_cluster_model, data.x[:6], data.y[:6], rng=3)
+        second_fuzzer = OperationalFuzzer(cluster_naturalness, config=cfg, natural_pool=data.x)
+        second = second_fuzzer.fuzz(trained_cluster_model, data.x[:6], data.y[:6], rng=3)
+        assert _campaign_summary(first) == _campaign_summary(second)
+        assert (
+            second_fuzzer.last_query_stats.model_calls
+            < first_fuzzer.last_query_stats.model_calls
+        )
+
+
+# --------------------------------------------------------------------------- #
+# serialization round-trips used by the registry
+# --------------------------------------------------------------------------- #
+class TestQueryStatsRoundTrip:
+    def test_to_from_dict_roundtrip(self):
+        stats = QueryStats(
+            rows_queried=10,
+            model_calls=3,
+            cache_hits=4,
+            gradient_rows=5,
+            gradient_calls=2,
+            naturalness_rows=7,
+            naturalness_calls=1,
+        )
+        assert QueryStats.from_dict(stats.to_dict()) == stats
+
+    def test_to_dict_is_json_safe(self):
+        assert json.loads(json.dumps(QueryStats().to_dict())) == QueryStats().to_dict()
+
+    def test_from_dict_rejects_unknown_fields(self):
+        with pytest.raises(ConfigurationError):
+            QueryStats.from_dict({"rows_queried": 1, "bogus": 2})
+
+    def test_from_dict_accepts_partial(self):
+        stats = QueryStats.from_dict({"model_calls": 9})
+        assert stats.model_calls == 9
+        assert stats.rows_queried == 0
+
+
+class TestReliabilityEstimateRoundTrip:
+    def test_roundtrip(self):
+        estimate = ReliabilityEstimate(
+            pmi=0.05,
+            pmi_upper=0.09,
+            pmi_lower=0.02,
+            operational_accuracy=0.95,
+            confidence=0.9,
+            cells_evaluated=12,
+            total_op_mass_evaluated=0.8,
+            queries=345,
+        )
+        assert ReliabilityEstimate.from_dict(estimate.to_dict()) == estimate
+
+    def test_rejects_unknown_fields(self):
+        with pytest.raises(ReliabilityError):
+            ReliabilityEstimate.from_dict({"pmi": 0.1, "bogus": 1})
+
+
+# --------------------------------------------------------------------------- #
+# checkpoint primitives
+# --------------------------------------------------------------------------- #
+class TestCheckpointPrimitives:
+    def test_write_read_roundtrip(self, tmp_path):
+        path = tmp_path / "nested" / "state.pkl"
+        payload = {"rng": np.random.default_rng(5), "values": np.arange(4.0)}
+        write_checkpoint(path, payload)
+        loaded = read_checkpoint(path)
+        np.testing.assert_array_equal(loaded["values"], np.arange(4.0))
+        # generators round-trip their exact stream
+        assert loaded["rng"].random() == np.random.default_rng(5).random()
+
+    def test_missing_checkpoint_raises(self, tmp_path):
+        with pytest.raises(CheckpointError):
+            read_checkpoint(tmp_path / "absent.pkl")
+
+    def test_corrupt_checkpoint_raises(self, tmp_path):
+        path = tmp_path / "bad.pkl"
+        path.write_bytes(b"not a pickle")
+        with pytest.raises(CheckpointError):
+            read_checkpoint(path)
+
+    def test_foreign_pickle_raises(self, tmp_path):
+        path = tmp_path / "foreign.pkl"
+        path.write_bytes(pickle.dumps({"unrelated": True}))
+        with pytest.raises(CheckpointError):
+            read_checkpoint(path)
+
+    def test_checkpointer_cadence(self, tmp_path):
+        checkpointer = Checkpointer(tmp_path / "c.pkl", every=3)
+        assert [s for s in range(10) if checkpointer.due(s)] == [3, 6, 9]
+        with pytest.raises(CheckpointError):
+            Checkpointer(tmp_path / "c.pkl", every=0)
+
+    def test_keep_history_writes_numbered_snapshots(self, tmp_path):
+        checkpointer = Checkpointer(tmp_path / "c.pkl", every=1, keep_history=True)
+        checkpointer.save(1, {"value": 1})
+        checkpointer.save(2, {"value": 2})
+        assert read_checkpoint(tmp_path / "c.pkl")["value"] == 2
+        assert read_checkpoint(tmp_path / "c.pkl.000001")["value"] == 1
+
+    def test_fingerprint_sensitive_to_inputs(self):
+        a = campaign_fingerprint(np.arange(4.0), extra="x")
+        assert a == campaign_fingerprint(np.arange(4.0), extra="x")
+        assert a != campaign_fingerprint(np.arange(5.0), extra="x")
+        assert a != campaign_fingerprint(np.arange(4.0), extra="y")
+
+
+# --------------------------------------------------------------------------- #
+# fuzzer checkpoint/resume (acceptance: bit-identical to uninterrupted)
+# --------------------------------------------------------------------------- #
+class TestFuzzerCheckpointResume:
+    @pytest.fixture()
+    def campaign_inputs(self, operational_cluster_data):
+        data = operational_cluster_data
+        return data.x[:8], data.y[:8]
+
+    def _config(self, **overrides):
+        base = dict(
+            epsilon=0.12,
+            queries_per_seed=12,
+            naturalness_threshold=0.3,
+            checkpoint_every=1,
+        )
+        base.update(overrides)
+        return FuzzerConfig(**base)
+
+    def _run_interrupted_then_resume(
+        self,
+        tmp_path,
+        model,
+        naturalness,
+        pool,
+        seeds,
+        labels,
+        interrupted_config,
+        resume_config,
+        budget=80,
+    ):
+        baseline_fuzzer = OperationalFuzzer(
+            naturalness, config=resume_config, natural_pool=pool
+        )
+        baseline = baseline_fuzzer.fuzz(model, seeds, labels, budget=budget, rng=3)
+        physical = baseline_fuzzer.last_query_stats.model_calls
+
+        checkpoint = tmp_path / "fuzz.ckpt"
+        dying = OperationalFuzzer(
+            naturalness, config=interrupted_config, natural_pool=pool
+        )
+        with pytest.raises(RuntimeError, match="killed"):
+            dying.fuzz(
+                _ExplodingModel(model, fail_after=max(2, physical // 2)),
+                seeds,
+                labels,
+                budget=budget,
+                rng=3,
+                checkpoint_path=str(checkpoint),
+            )
+        assert checkpoint.exists(), "campaign died before its first checkpoint"
+
+        resumed_fuzzer = OperationalFuzzer(
+            naturalness, config=resume_config, natural_pool=pool
+        )
+        resumed = resumed_fuzzer.fuzz(
+            model, seeds, labels, budget=budget, rng=3, resume_from=str(checkpoint)
+        )
+        return baseline, resumed, baseline_fuzzer, resumed_fuzzer
+
+    def test_population_resume_bit_identical(
+        self,
+        tmp_path,
+        trained_cluster_model,
+        cluster_naturalness,
+        operational_cluster_data,
+        campaign_inputs,
+    ):
+        seeds, labels = campaign_inputs
+        cfg = self._config()
+        baseline, resumed, base_fz, res_fz = self._run_interrupted_then_resume(
+            tmp_path,
+            trained_cluster_model,
+            cluster_naturalness,
+            operational_cluster_data.x,
+            seeds,
+            labels,
+            cfg,
+            cfg,
+        )
+        assert _campaign_summary(baseline) == _campaign_summary(resumed)
+        assert baseline.total_queries == resumed.total_queries
+        # restored counters continue the interrupted campaign's accounting:
+        # logical rows agree exactly with the uninterrupted campaign
+        assert (
+            res_fz.last_query_stats.rows_queried
+            == base_fz.last_query_stats.rows_queried
+        )
+
+    def test_population_checkpoint_resumes_under_sharded(
+        self,
+        tmp_path,
+        trained_cluster_model,
+        cluster_naturalness,
+        operational_cluster_data,
+        campaign_inputs,
+    ):
+        seeds, labels = campaign_inputs
+        baseline, resumed, _, _ = self._run_interrupted_then_resume(
+            tmp_path,
+            trained_cluster_model,
+            cluster_naturalness,
+            operational_cluster_data.x,
+            seeds,
+            labels,
+            self._config(),
+            self._config(execution="sharded", num_workers=2),
+        )
+        assert _campaign_summary(baseline) == _campaign_summary(resumed)
+
+    def test_sequential_resume_bit_identical(
+        self,
+        tmp_path,
+        trained_cluster_model,
+        cluster_naturalness,
+        operational_cluster_data,
+        campaign_inputs,
+    ):
+        seeds, labels = campaign_inputs
+        cfg = self._config(execution="sequential", checkpoint_every=2)
+        baseline, resumed, _, _ = self._run_interrupted_then_resume(
+            tmp_path,
+            trained_cluster_model,
+            cluster_naturalness,
+            operational_cluster_data.x,
+            seeds,
+            labels,
+            cfg,
+            cfg,
+        )
+        assert _campaign_summary(baseline) == _campaign_summary(resumed)
+
+    def test_resume_rejects_foreign_campaign(
+        self,
+        tmp_path,
+        trained_cluster_model,
+        cluster_naturalness,
+        operational_cluster_data,
+        campaign_inputs,
+    ):
+        seeds, labels = campaign_inputs
+        cfg = self._config()
+        checkpoint = tmp_path / "fuzz.ckpt"
+        fuzzer = OperationalFuzzer(
+            cluster_naturalness, config=cfg, natural_pool=operational_cluster_data.x
+        )
+        fuzzer.fuzz(
+            trained_cluster_model,
+            seeds,
+            labels,
+            budget=80,
+            rng=3,
+            checkpoint_path=str(checkpoint),
+        )
+        assert checkpoint.exists()
+        other = OperationalFuzzer(
+            cluster_naturalness, config=cfg, natural_pool=operational_cluster_data.x
+        )
+        with pytest.raises(FuzzingError, match="different campaign"):
+            other.fuzz(
+                trained_cluster_model,
+                seeds + 0.5,  # different seed matrix => different fingerprint
+                labels,
+                budget=80,
+                rng=3,
+                resume_from=str(checkpoint),
+            )
+        # per-seed densities shape the energy allocation, so they are part
+        # of the campaign identity too
+        with pytest.raises(FuzzingError, match="different campaign"):
+            other.fuzz(
+                trained_cluster_model,
+                seeds,
+                labels,
+                op_densities=np.linspace(0.5, 2.0, len(seeds)),
+                budget=80,
+                rng=3,
+                resume_from=str(checkpoint),
+            )
+
+
+# --------------------------------------------------------------------------- #
+# workflow checkpoint/resume (acceptance: identical reliability estimates)
+# --------------------------------------------------------------------------- #
+class TestWorkflowCheckpointResume:
+    def _build_loop(self, profile, train, naturalness, stopping_rule, **workflow_kwargs):
+        return OperationalTestingLoop(
+            profile=profile,
+            train_data=train,
+            naturalness=naturalness,
+            fuzzer_config=FuzzerConfig(epsilon=0.1, queries_per_seed=8),
+            retraining_config=RetrainingConfig(epochs=2),
+            stopping_rule=stopping_rule,
+            workflow_config=WorkflowConfig(
+                test_budget_per_iteration=100,
+                seeds_per_iteration=6,
+                checkpoint_every=1,
+                **workflow_kwargs,
+            ),
+            rng=21,
+        )
+
+    def test_killed_loop_resumes_bit_identical(
+        self,
+        tmp_path,
+        cluster_profile,
+        clusters_split,
+        cluster_naturalness,
+        trained_cluster_model,
+        operational_cluster_data,
+    ):
+        train, _ = clusters_split
+        rule = StoppingRule(target_pmi=1e-6, max_iterations=3)
+
+        uninterrupted = self._build_loop(
+            cluster_profile, train, cluster_naturalness, rule
+        )
+        model_a, report_a = uninterrupted.run(
+            trained_cluster_model, operational_cluster_data
+        )
+
+        checkpoint = tmp_path / "loop.ckpt"
+        killing_rule = _KillingRule(target_pmi=1e-6, max_iterations=3)
+        dying = self._build_loop(
+            cluster_profile, train, cluster_naturalness, killing_rule
+        )
+        with pytest.raises(RuntimeError, match="killed"):
+            dying.run(
+                trained_cluster_model,
+                operational_cluster_data,
+                checkpoint_path=str(checkpoint),
+            )
+        assert checkpoint.exists()
+
+        resumed = self._build_loop(cluster_profile, train, cluster_naturalness, rule)
+        model_b, report_b = resumed.run(
+            trained_cluster_model,
+            operational_cluster_data,
+            resume_from=str(checkpoint),
+        )
+
+        digest = lambda report: [  # noqa: E731 - local comparison helper
+            (
+                it.iteration,
+                it.seeds_selected,
+                it.test_cases_used,
+                it.aes_detected,
+                it.pmi_before,
+                it.pmi_after,
+                it.operational_accuracy_after,
+                it.target_met,
+            )
+            for it in report.iterations
+        ]
+        assert digest(report_a) == digest(report_b)
+        assert uninterrupted.last_estimate.to_dict() == resumed.last_estimate.to_dict()
+        for layer_a, layer_b in zip(model_a.get_weights(), model_b.get_weights()):
+            for key in layer_a:
+                np.testing.assert_array_equal(layer_a[key], layer_b[key])
+
+    def test_resume_rejects_different_campaign(
+        self,
+        tmp_path,
+        cluster_profile,
+        clusters_split,
+        cluster_naturalness,
+        trained_cluster_model,
+        operational_cluster_data,
+    ):
+        train, _ = clusters_split
+        rule = StoppingRule(target_pmi=1e-6, max_iterations=2)
+        checkpoint = tmp_path / "loop.ckpt"
+        loop = self._build_loop(cluster_profile, train, cluster_naturalness, rule)
+        loop.run(
+            trained_cluster_model,
+            operational_cluster_data,
+            checkpoint_path=str(checkpoint),
+        )
+        different = self._build_loop(
+            cluster_profile,
+            train,
+            cluster_naturalness,
+            StoppingRule(target_pmi=1e-6, max_iterations=5),
+        )
+        with pytest.raises(ConfigurationError, match="different campaign"):
+            different.run(
+                trained_cluster_model,
+                operational_cluster_data,
+                resume_from=str(checkpoint),
+            )
+
+
+# --------------------------------------------------------------------------- #
+# run registry
+# --------------------------------------------------------------------------- #
+def _sample_report():
+    report = CampaignReport()
+    report.append(
+        IterationReport(
+            iteration=0,
+            seeds_selected=4,
+            test_cases_used=30,
+            aes_detected=2,
+            pmi_before=0.08,
+            pmi_after=0.05,
+            operational_accuracy_before=0.92,
+            operational_accuracy_after=0.95,
+            reliability_target=0.02,
+            target_met=False,
+            notes={"fuzzer_model_calls": 7.0},
+        )
+    )
+    return report
+
+
+def _sample_detections():
+    return [
+        AdversarialExample(
+            seed=np.arange(2.0),
+            perturbed=np.arange(2.0) + 0.1,
+            true_label=1,
+            predicted_label=0,
+            distance=0.1,
+            naturalness=0.7,
+            op_density=1.2,
+            method="operational-fuzzer",
+            queries=9,
+        ),
+        AdversarialExample(
+            seed=np.ones(2),
+            perturbed=np.ones(2) * 1.1,
+            true_label=0,
+            predicted_label=2,
+            distance=0.1,
+            naturalness=None,
+            op_density=None,
+            method="pgd",
+            queries=4,
+        ),
+    ]
+
+
+class TestRunRegistry:
+    def test_create_assigns_sequential_ids(self, tmp_path):
+        registry = RunRegistry(tmp_path)
+        assert registry.create("a").run_id == "run-0001"
+        assert registry.create("b").run_id == "run-0002"
+        assert [run.run_id for run in registry.runs()] == ["run-0001", "run-0002"]
+
+    def test_manifest_and_status_lifecycle(self, tmp_path):
+        registry = RunRegistry(tmp_path)
+        run = registry.create("demo", {"seed": 7})
+        assert run.status == "running"
+        assert run.config == {"seed": 7}
+        run.finish("completed")
+        assert registry.get(run.run_id).status == "completed"
+        with pytest.raises(StoreError):
+            run.set_status("bogus")
+
+    def test_report_roundtrip(self, tmp_path):
+        run = RunRegistry(tmp_path).create("demo")
+        report = _sample_report()
+        run.save_report(report)
+        loaded = run.load_report()
+        assert loaded.total_aes == report.total_aes
+        assert loaded.iterations[0] == report.iterations[0]
+        assert loaded.final_pmi == report.final_pmi
+
+    def test_detections_roundtrip(self, tmp_path):
+        run = RunRegistry(tmp_path).create("demo")
+        detections = _sample_detections()
+        run.save_detections(detections)
+        loaded = run.load_detections()
+        assert len(loaded) == 2
+        for original, restored in zip(detections, loaded):
+            np.testing.assert_array_equal(original.seed, restored.seed)
+            np.testing.assert_array_equal(original.perturbed, restored.perturbed)
+            assert original.true_label == restored.true_label
+            assert original.predicted_label == restored.predicted_label
+            assert original.naturalness == restored.naturalness
+            assert original.op_density == restored.op_density
+            assert original.method == restored.method
+            assert original.queries == restored.queries
+
+    def test_empty_detections_roundtrip(self, tmp_path):
+        run = RunRegistry(tmp_path).create("demo")
+        run.save_detections([])
+        assert run.load_detections() == []
+
+    def test_stats_and_estimates_roundtrip(self, tmp_path):
+        run = RunRegistry(tmp_path).create("demo")
+        assert run.load_stats() is None
+        assert run.load_estimates() == {}
+        stats = QueryStats(rows_queried=11, model_calls=2)
+        run.save_stats(stats)
+        assert run.load_stats() == stats
+        estimate = ReliabilityEstimate(
+            pmi=0.04,
+            pmi_upper=0.07,
+            pmi_lower=0.01,
+            operational_accuracy=0.96,
+            confidence=0.9,
+            cells_evaluated=5,
+            total_op_mass_evaluated=0.8,
+            queries=100,
+        )
+        run.save_estimates({"final": estimate})
+        assert run.load_estimates() == {"final": estimate}
+
+    def test_get_unknown_run_raises(self, tmp_path):
+        with pytest.raises(StoreError):
+            RunRegistry(tmp_path).get("run-9999")
+
+    def test_gc_by_status_and_keep(self, tmp_path):
+        registry = RunRegistry(tmp_path)
+        first = registry.create("a")
+        second = registry.create("b")
+        third = registry.create("c")
+        first.finish("completed")
+        second.finish("failed")
+        third.finish("failed")
+        with pytest.raises(StoreError):
+            registry.gc()  # refuses to delete everything
+        # keep larger than the candidate count must delete nothing at all
+        assert registry.gc(keep=5) == []
+        assert len(registry.runs()) == 3
+        assert registry.gc(status="failed", keep=1) == [second.run_id]
+        assert registry.gc(status="failed") == [third.run_id]
+        assert [run.run_id for run in registry.runs()] == [first.run_id]
+
+
+# --------------------------------------------------------------------------- #
+# CLI (python -m repro) end-to-end
+# --------------------------------------------------------------------------- #
+class TestCli:
+    RUN_ARGS = [
+        "run",
+        "--scenario",
+        "gaussian-clusters",
+        "--samples",
+        "250",
+        "--epochs",
+        "4",
+        "--iterations",
+        "1",
+        "--budget",
+        "60",
+        "--seeds-per-iteration",
+        "4",
+        "--queries-per-seed",
+        "6",
+        "--checkpoint-every",
+        "1",
+        "--seed",
+        "2021",
+    ]
+
+    def test_run_show_ls_gc_roundtrip(self, tmp_path, capsys):
+        runs_dir = str(tmp_path / "runs")
+        cache_dir = str(tmp_path / "cache")
+        base = ["--runs-dir", runs_dir]
+        assert cli_main(base + self.RUN_ARGS + ["--cache-dir", cache_dir]) == 0
+        # second run over the same persistent cache: strictly fewer physical
+        # model calls, identical logical outcome
+        assert cli_main(base + self.RUN_ARGS + ["--cache-dir", cache_dir]) == 0
+        registry = RunRegistry(runs_dir)
+        first, second = registry.runs()
+        assert first.status == second.status == "completed"
+        assert second.load_stats().model_calls < first.load_stats().model_calls
+        assert _detection_digest(first) == _detection_digest(second)
+        assert (
+            first.load_estimates()["final"].to_dict()
+            == second.load_estimates()["final"].to_dict()
+        )
+
+        capsys.readouterr()
+        assert cli_main(base + ["ls"]) == 0
+        listing = capsys.readouterr().out
+        assert "run-0001" in listing and "run-0002" in listing
+
+        assert cli_main(base + ["show", "run-0001"]) == 0
+        shown = capsys.readouterr().out
+        assert "engine stats" in shown
+        assert "reliability estimates" in shown
+
+        assert cli_main(base + ["gc", "--keep", "1"]) == 0
+        assert [run.run_id for run in registry.runs()] == ["run-0002"]
+
+    def test_resume_completed_run_is_a_noop(self, tmp_path, capsys):
+        base = ["--runs-dir", str(tmp_path / "runs")]
+        assert cli_main(base + self.RUN_ARGS) == 0
+        capsys.readouterr()
+        assert cli_main(base + ["resume", "run-0001"]) == 0
+        assert "already completed" in capsys.readouterr().out
+
+    def test_resume_interrupted_run_completes(self, tmp_path):
+        runs_dir = str(tmp_path / "runs")
+        base = ["--runs-dir", runs_dir]
+        assert cli_main(base + self.RUN_ARGS) == 0
+        registry = RunRegistry(runs_dir)
+        run = registry.get("run-0001")
+        reference = run.load_report()
+        # pretend the process died after its last checkpoint: the status is
+        # still "running" and the checkpoint file is in place
+        run.set_status("running")
+        assert run.checkpoint_path.exists()
+        assert cli_main(base + ["resume", "run-0001"]) == 0
+        resumed = registry.get("run-0001")
+        assert resumed.status == "completed"
+        restored = resumed.load_report()
+        assert restored.final_pmi == reference.final_pmi
+        assert restored.total_aes == reference.total_aes
+
+    def test_resume_without_checkpoint_errors(self, tmp_path, capsys):
+        runs_dir = str(tmp_path / "runs")
+        registry = RunRegistry(runs_dir)
+        registry.create("demo", {"scenario": "gaussian-clusters", "seed": 1})
+        assert cli_main(["--runs-dir", runs_dir, "resume", "run-0001"]) == 1
+        assert "no checkpoint" in capsys.readouterr().err
+
+    def test_unbuildable_campaign_marks_run_failed(self, tmp_path, capsys):
+        runs_dir = str(tmp_path / "runs")
+        args = ["--runs-dir", runs_dir] + self.RUN_ARGS[:]
+        args[args.index("gaussian-clusters")] = "no-such-scenario"
+        assert cli_main(args) == 1
+        assert "unknown scenario" in capsys.readouterr().err
+        # the run must not be wedged in "running": gc --status failed can
+        # collect it
+        registry = RunRegistry(runs_dir)
+        assert registry.get("run-0001").status == "failed"
+        assert registry.gc(status="failed") == ["run-0001"]
+
+
+def _detection_digest(run):
+    return [
+        (ae.true_label, ae.predicted_label, ae.perturbed.tobytes())
+        for ae in run.load_detections()
+    ]
