@@ -32,6 +32,7 @@ import numpy as np
 from repro.attacks import BoundaryNudge, GaussianNoise, RandomFuzz
 from repro.evaluation import make_clusters_scenario, make_glyph_scenario
 from repro.fuzzing import FuzzerConfig, OperationalFuzzer
+from repro.runtime import ExecutionPolicy
 
 SEED = 2021
 NUM_SEEDS = 40
@@ -101,14 +102,17 @@ def _attacks_once(scenario) -> dict:
     return out
 
 
-def _scaling_campaign(scenario, execution: str, num_workers: int) -> dict:
+def _scaling_campaign(scenario, backend: str, num_workers: int) -> dict:
     config = FuzzerConfig(
         epsilon=0.1,
         queries_per_seed=SCALING_QUERIES_PER_SEED,
         naturalness_threshold=0.3,
-        execution=execution,
-        num_workers=num_workers,
-        batch_size=SCALING_BATCH_SIZE,
+        policy=ExecutionPolicy(
+            backend=backend,
+            num_workers=num_workers,
+            batch_size=SCALING_BATCH_SIZE,
+            cache=True,
+        ),
     )
     fuzzer = OperationalFuzzer(
         naturalness=scenario.naturalness,
@@ -135,7 +139,9 @@ def _scaling_bulk(scenario, num_workers: int) -> dict:
     picks = rng.integers(0, len(pool), size=SCALING_BULK_ROWS)
     bulk = np.clip(pool[picks] + rng.normal(0.0, 0.01, size=pool[picks].shape), 0.0, 1.0)
     with scenario.query_engine(
-        engine="sharded", num_workers=num_workers, batch_size=SCALING_BATCH_SIZE
+        policy=ExecutionPolicy(
+            backend="sharded", num_workers=num_workers, batch_size=SCALING_BATCH_SIZE
+        )
     ) as engine:
         # warm every worker outside the timed window: pools spawn (and
         # unpickle their replica) lazily at their first submit, so the
@@ -170,7 +176,7 @@ def _scaling_section(worker_counts) -> dict:
     scenario = make_glyph_scenario(
         num_samples=900, image_size=12, num_classes=10, epochs=10, rng=SEED
     )
-    baseline = _scaling_campaign(scenario, "population", 1)
+    baseline = _scaling_campaign(scenario, "batched", 1)
     rows = []
     for workers in worker_counts:
         campaign = _scaling_campaign(scenario, "sharded", workers)

@@ -8,8 +8,9 @@ minute:
 3. detect *operational* AEs with OP-weighted seeds + naturalness-guided fuzzing,
 4. retrain on what was found, and
 5. assess the delivered reliability before and after,
-6. (bonus) checkpoint a campaign, "kill" it, and resume it bit-identically
-   over a warm persistent query cache.
+6. (bonus) one ExecutionPolicy drives the runtime: checkpoint a campaign,
+   "kill" it, and resume it bit-identically over a warm persistent query
+   cache — then scale the same campaign with a policy switch, not a rewrite.
 
 Run with:  python examples/quickstart.py
 """
@@ -30,6 +31,7 @@ from repro.nn import Adam, Trainer, TrainerConfig, accuracy, build_mlp_classifie
 from repro.op import ground_truth_profile_for_clusters, synthesize_operational_dataset
 from repro.reliability import ReliabilityAssessor
 from repro.retraining import OperationalRetrainer, RetrainingConfig
+from repro.runtime import ExecutionPolicy
 
 SEED = 2021
 CLUSTER_STD = 0.10
@@ -91,18 +93,24 @@ def main() -> None:
     print(format_table(rows, "delivered reliability (probability of misclassification per input)"))
 
     # ------------------------------------------------------------------ #
-    # 6. the campaign store: interrupt-and-resume over a warm cache
+    # 6. the runtime API: one ExecutionPolicy drives the whole campaign
     # ------------------------------------------------------------------ #
-    # Long campaigns should survive the process: `cache_dir` makes the
-    # memoizing query cache durable (warm across runs and shareable across
-    # hosts via a common directory) and `checkpoint_every` snapshots the
-    # campaign so a killed run resumes bit-identically.
+    # An ExecutionPolicy captures the entire execution surface — backend,
+    # workers, batching, caching, checkpoint cadence — in one serializable
+    # object.  Here: a durable query cache (warm across runs and shareable
+    # across hosts via a common directory) plus campaign snapshots every 2
+    # population rounds, so a killed run resumes bit-identically.  Swapping
+    # `backend="sharded", num_workers=4` later changes the hardware usage,
+    # never the results.
     with tempfile.TemporaryDirectory() as store_dir:
         store = Path(store_dir)
         fuzz_config = FuzzerConfig(
             queries_per_seed=25,
-            cache_dir=str(store / "cache"),
-            checkpoint_every=2,  # snapshot every 2 population rounds
+            policy=ExecutionPolicy(
+                cache=True,
+                cache_dir=str(store / "cache"),
+                checkpoint_every=2,
+            ),
         )
         seeds_x, seeds_y = operational_data.x[:12], operational_data.y[:12]
         checkpoint = store / "campaign.ckpt"
@@ -143,11 +151,14 @@ def main() -> None:
             f"physical model calls — cold campaign: {cold_calls}, same campaign "
             f"over the warm persistent cache: {warm_calls}"
         )
-    # For whole testing-loop campaigns the same knobs live on
-    # `WorkflowConfig` (cache_dir / checkpoint_every) and on the CLI:
-    #   python -m repro run --scenario two-moons --cache-dir cache --checkpoint-every 1
-    #   python -m repro resume run-0001   # after an interruption
-    #   python -m repro show run-0001     # stored config, stats, estimates
+    # For whole testing-loop campaigns the same policy drives everything
+    # (`WorkflowConfig(policy=...)`), and a campaign is one declarative
+    # spec file — scenario + fuzzer + workflow + stopping + policy + seed —
+    # recorded verbatim in the run registry (see examples/campaign.json):
+    #   python -m repro run --spec examples/campaign.json
+    #   python -m repro show run-0001         # stored spec, stats, estimates
+    #   python -m repro run --from-run run-0001   # reproduce it from the spec
+    #   python -m repro resume run-0001       # after an interruption
 
 
 if __name__ == "__main__":

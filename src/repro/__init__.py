@@ -21,6 +21,8 @@ substrate it depends on:
 * :mod:`repro.evaluation` — experiment scenarios and reporting.
 * :mod:`repro.store` — persistent campaign store (durable query cache,
   checkpoint/resume, run registry + ``python -m repro`` CLI).
+* :mod:`repro.runtime` — the runtime API: :class:`ExecutionPolicy`, the
+  :class:`ModelBackend` registry and declarative :class:`CampaignSpec` files.
 """
 
 from . import (
@@ -37,6 +39,7 @@ from . import (
     op,
     reliability,
     retraining,
+    runtime,
     sampling,
     store,
     types,
@@ -66,6 +69,7 @@ __all__ = [
     "op",
     "reliability",
     "retraining",
+    "runtime",
     "sampling",
     "store",
     "types",

@@ -16,6 +16,7 @@ import numpy as np
 
 from ..config import RngLike, clip01
 from ..exceptions import AttackError, ShapeError
+from ..runtime.policy import ExecutionPolicy
 from ..types import Classifier
 
 
@@ -63,15 +64,30 @@ class AttackResult:
 
 
 class Attack:
-    """Base class for adversarial attacks (debug-testing test-case generators)."""
+    """Base class for adversarial attacks (debug-testing test-case generators).
+
+    ``policy`` (an :class:`~repro.runtime.ExecutionPolicy`) selects the
+    execution backend for attacks that funnel their queries through an
+    engine (the black-box attacks); the white-box gradient attacks query the
+    model directly and ignore it.  Results are bit-identical across
+    policies.
+    """
 
     #: Human readable name used in reports.
     name: str = "attack"
 
-    def __init__(self, epsilon: float = 0.1) -> None:
+    def __init__(
+        self, epsilon: float = 0.1, policy: Optional[ExecutionPolicy] = None
+    ) -> None:
         if epsilon <= 0:
             raise AttackError(f"epsilon must be positive, got {epsilon}")
+        if policy is not None and not isinstance(policy, ExecutionPolicy):
+            raise AttackError(
+                f"{type(self).__name__}: policy must be an ExecutionPolicy, "
+                f"got {type(policy).__name__} ({policy!r})"
+            )
         self.epsilon = epsilon
+        self.policy = policy if policy is not None else ExecutionPolicy()
 
     def run(
         self,
@@ -87,29 +103,12 @@ class Attack:
     # shared helpers
     # ------------------------------------------------------------------ #
     def _engine_session(self, model: Classifier):
-        """Query-engine session honouring the attack's engine knobs.
+        """Query-engine session honouring the attack's execution policy.
 
-        Black-box attacks set ``batch_size`` / ``engine`` / ``num_workers``
-        in their constructors; attacks without the knobs (the white-box
-        gradient attacks query the model directly) fall back to an
-        in-process engine.  The returned context manager closes engines it
-        created and passes pre-built engines through untouched.
+        The returned context manager closes engines it created and passes
+        pre-built engines through untouched.
         """
-        from ..engine.batching import DEFAULT_BATCH_SIZE
-        from ..engine.parallel import query_engine_session
-
-        return query_engine_session(
-            model,
-            batch_size=getattr(self, "batch_size", DEFAULT_BATCH_SIZE),
-            engine=getattr(self, "engine", "batched"),
-            num_workers=getattr(self, "num_workers", 1),
-        )
-
-    @staticmethod
-    def _validate_engine_knobs(engine: str, num_workers: int) -> None:
-        from ..engine.parallel import validate_engine_knobs
-
-        validate_engine_knobs(engine, num_workers, exception=AttackError)
+        return self.policy.session(model)
 
     @staticmethod
     def _validate_batch(x: np.ndarray, y: np.ndarray) -> tuple[np.ndarray, np.ndarray]:

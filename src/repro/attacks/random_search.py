@@ -10,20 +10,46 @@ matrices are generated up front and serviced by a handful of chunked
 ``predict`` calls through the :class:`repro.engine.BatchedQueryEngine`, while
 the reported per-seed query counts remain exactly what the trial-by-trial
 loop would have charged (a seed stops being billed at its first hit when the
-attack early-stops).  The ``engine``/``num_workers`` knobs select the
-execution backend for those physical calls (``"sharded"`` fans chunks out
-across worker processes with bit-identical results).
+attack early-stops).  Each attack's :class:`~repro.runtime.ExecutionPolicy`
+selects the execution backend for those physical calls (the replicated
+``"sharded"`` backend fans chunks out across worker processes with
+bit-identical results); the legacy ``batch_size``/``engine``/``num_workers``
+knobs survive as deprecated shims folding into the policy.
 """
 
 from __future__ import annotations
 
+from typing import Optional
+
 import numpy as np
 
 from ..config import RngLike, ensure_rng
-from ..engine.batching import DEFAULT_BATCH_SIZE
 from ..exceptions import AttackError
+from ..runtime.policy import ExecutionPolicy, resolve_legacy_knobs
 from ..types import Classifier
 from .base import Attack, AttackResult
+
+
+def _resolve_attack_policy(
+    owner: str,
+    policy: Optional[ExecutionPolicy],
+    batch_size: Optional[int],
+    engine: Optional[str],
+    num_workers: Optional[int],
+) -> ExecutionPolicy:
+    """Shared legacy-knob shim of the black-box attacks (warns per knob)."""
+    return resolve_legacy_knobs(
+        owner,
+        policy,
+        ExecutionPolicy(),
+        {
+            "batch_size": ("batch_size", batch_size),
+            "engine": ("backend", engine),
+            "num_workers": ("num_workers", num_workers),
+        },
+        error=AttackError,
+        stacklevel=5,
+    )
 
 
 class RandomFuzz(Attack):
@@ -37,13 +63,11 @@ class RandomFuzz(Attack):
         Maximum random candidates evaluated per seed.
     early_stop:
         Stop billing a seed as soon as a misclassification is found.
-    batch_size:
-        Rows per physical model call when evaluating the trial matrix.
-    engine:
-        Execution backend for the physical calls (``"batched"`` in-process,
-        ``"sharded"`` across worker processes — results are bit-identical).
-    num_workers:
-        Worker processes used by the sharded backend.
+    policy:
+        Execution policy for the physical calls (backend, batching, workers
+        — results are bit-identical across policies).
+    batch_size, engine, num_workers:
+        **Deprecated** shims folding into ``policy``.
     """
 
     name = "random-fuzz"
@@ -53,21 +77,21 @@ class RandomFuzz(Attack):
         epsilon: float = 0.1,
         num_trials: int = 20,
         early_stop: bool = True,
-        batch_size: int = DEFAULT_BATCH_SIZE,
-        engine: str = "batched",
-        num_workers: int = 1,
+        batch_size: Optional[int] = None,
+        engine: Optional[str] = None,
+        num_workers: Optional[int] = None,
+        policy: Optional[ExecutionPolicy] = None,
     ) -> None:
-        super().__init__(epsilon)
+        super().__init__(
+            epsilon,
+            policy=_resolve_attack_policy(
+                "RandomFuzz", policy, batch_size, engine, num_workers
+            ),
+        )
         if num_trials <= 0:
             raise AttackError("num_trials must be positive")
-        if batch_size <= 0:
-            raise AttackError("batch_size must be positive")
-        self._validate_engine_knobs(engine, num_workers)
         self.num_trials = num_trials
         self.early_stop = early_stop
-        self.batch_size = batch_size
-        self.engine = engine
-        self.num_workers = num_workers
 
     def run(
         self,
@@ -104,23 +128,23 @@ class GaussianNoise(Attack):
         epsilon: float = 0.1,
         std_fraction: float = 0.5,
         num_trials: int = 10,
-        batch_size: int = DEFAULT_BATCH_SIZE,
-        engine: str = "batched",
-        num_workers: int = 1,
+        batch_size: Optional[int] = None,
+        engine: Optional[str] = None,
+        num_workers: Optional[int] = None,
+        policy: Optional[ExecutionPolicy] = None,
     ) -> None:
-        super().__init__(epsilon)
+        super().__init__(
+            epsilon,
+            policy=_resolve_attack_policy(
+                "GaussianNoise", policy, batch_size, engine, num_workers
+            ),
+        )
         if not 0 < std_fraction <= 1:
             raise AttackError("std_fraction must be in (0, 1]")
         if num_trials <= 0:
             raise AttackError("num_trials must be positive")
-        if batch_size <= 0:
-            raise AttackError("batch_size must be positive")
-        self._validate_engine_knobs(engine, num_workers)
         self.std_fraction = std_fraction
         self.num_trials = num_trials
-        self.batch_size = batch_size
-        self.engine = engine
-        self.num_workers = num_workers
 
     def run(
         self,
@@ -160,21 +184,21 @@ class BoundaryNudge(Attack):
         epsilon: float = 0.1,
         num_directions: int = 5,
         num_bisections: int = 4,
-        batch_size: int = DEFAULT_BATCH_SIZE,
-        engine: str = "batched",
-        num_workers: int = 1,
+        batch_size: Optional[int] = None,
+        engine: Optional[str] = None,
+        num_workers: Optional[int] = None,
+        policy: Optional[ExecutionPolicy] = None,
     ) -> None:
-        super().__init__(epsilon)
+        super().__init__(
+            epsilon,
+            policy=_resolve_attack_policy(
+                "BoundaryNudge", policy, batch_size, engine, num_workers
+            ),
+        )
         if num_directions <= 0 or num_bisections <= 0:
             raise AttackError("num_directions and num_bisections must be positive")
-        if batch_size <= 0:
-            raise AttackError("batch_size must be positive")
-        self._validate_engine_knobs(engine, num_workers)
         self.num_directions = num_directions
         self.num_bisections = num_bisections
-        self.batch_size = batch_size
-        self.engine = engine
-        self.num_workers = num_workers
 
     def run(
         self,
@@ -267,8 +291,9 @@ def _run_trial_matrix_attack(
     ``draw_noise(block)`` must return a ``(block, n, d)`` noise tensor;
     drawing per block consumes the generator stream in the same order as one
     monolithic draw, so results are independent of the block size.  Blocks
-    are sized so the candidate matrix stays around ``attack.batch_size``
-    rows, and seeds that already hit stop being materialised and classified.
+    are sized so the candidate matrix stays around the policy's
+    ``batch_size`` rows, and seeds that already hit stop being materialised
+    and classified.
     Per-seed query accounting reproduces the trial-by-trial loop exactly (a
     seed is billed one query per trial until its first hit when
     ``early_stop`` is set, or for every trial otherwise).
@@ -295,7 +320,7 @@ def _trial_matrix_with_engine(
     # variant keeps billing (and overwriting) every seed, like the old loop
     active = ~best_success if early_stop else np.ones(n, dtype=bool)
 
-    trials_per_block = max(1, attack.batch_size // max(n, 1))
+    trials_per_block = max(1, attack.policy.batch_size // max(n, 1))
     trial = 0
     while trial < num_trials and np.any(active):
         block = min(trials_per_block, num_trials - trial)

@@ -13,12 +13,14 @@ queries:
   lock-step population loop behind the batched operational fuzzer.
 * :mod:`repro.engine.parallel` — :class:`ShardedQueryEngine`, the
   multi-worker execution backend that shards physical chunks across a pool
-  of pickled model replicas with bit-identical results, plus
-  :func:`build_query_engine`, the construction funnel behind every
-  subsystem's ``engine``/``num_workers`` knobs.
+  of pickled model replicas with bit-identical results, plus the low-level
+  :func:`build_query_engine` construction helpers.
 
-Future scaling work (async dispatch, multi-backend execution, distributed
-caches) plugs in behind the same engine interface.
+Subsystems select and construct engines through the runtime API
+(:class:`repro.runtime.ExecutionPolicy` and the registered
+:class:`repro.runtime.ModelBackend` implementations); future scaling work
+(async dispatch, remote substrates) plugs in behind
+:func:`repro.runtime.register_backend` without touching the subsystems.
 """
 
 from .batching import (

@@ -440,10 +440,12 @@ def build_query_engine(
 ) -> BatchedQueryEngine:
     """Build the requested engine backend (or pass an existing engine through).
 
-    The single construction funnel behind every subsystem's ``engine`` /
-    ``num_workers`` knobs.  Like :func:`repro.engine.batching.as_query_engine`,
-    a pre-built engine is returned unchanged so nested subsystems share one
-    set of counters, one cache and one worker pool.
+    Low-level construction helper; subsystems build engines through
+    :meth:`repro.runtime.ExecutionPolicy.build_engine`, which also opens the
+    backend set to registered plug-ins.  Like
+    :func:`repro.engine.batching.as_query_engine`, a pre-built engine is
+    returned unchanged so nested subsystems share one set of counters, one
+    cache and one worker pool.
     """
     validate_engine_knobs(engine, num_workers)
     if engine == "sharded" and not isinstance(model, BatchedQueryEngine):

@@ -87,11 +87,25 @@ def run_summary_rows(runs: Sequence["StoredRun"]) -> List[Dict[str, object]]:
 
 
 def render_stored_run(run: "StoredRun") -> str:
-    """Render one registry artifact (``python -m repro show``) as plain text."""
+    """Render one registry artifact (``python -m repro show``) as plain text.
+
+    The stored :class:`repro.runtime.CampaignSpec` document is rendered in
+    full — it is the reproducible identity of the run (`python -m repro run
+    --from-run <id>` re-launches from exactly this document).
+    """
+    import json
+
     manifest = run.manifest
     lines = [f"{run.run_id} ({run.name}) — {run.status}"]
     config = manifest.get("config", {})
-    if config:
+    spec = config.get("spec") if isinstance(config, dict) else None
+    if spec is not None:
+        lines.append("campaign spec:")
+        lines.extend(
+            "  " + line
+            for line in json.dumps(spec, indent=2, sort_keys=True).splitlines()
+        )
+    elif config:
         settings = ", ".join(
             f"{key}={value}" for key, value in sorted(config.items()) if value is not None
         )

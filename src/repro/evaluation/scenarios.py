@@ -49,29 +49,49 @@ class Scenario:
 
     def query_engine(
         self,
-        engine: str = "batched",
-        num_workers: int = 1,
+        policy: Optional["ExecutionPolicy"] = None,
+        cache: Optional["CacheBackend"] = None,
+        engine: Optional[str] = None,
+        num_workers: Optional[int] = None,
         batch_size: Optional[int] = None,
-        cache: object = False,
     ):
         """Build a query engine over the scenario's model and scorer.
 
-        The ``engine``/``num_workers`` knobs select the execution backend
-        (``"sharded"`` fans physical chunks across worker processes with
-        bit-identical results); callers own the returned engine and should
-        :meth:`~repro.engine.BatchedQueryEngine.close` it (or use it as a
-        context manager) when a sharded backend was requested.
-        """
-        from ..engine.batching import DEFAULT_BATCH_SIZE
-        from ..engine.parallel import build_query_engine
+        ``policy`` (an :class:`~repro.runtime.ExecutionPolicy`) selects the
+        execution backend — results are bit-identical across policies.
+        ``cache`` is either ``None`` or a concrete
+        :class:`~repro.engine.CacheBackend` instance, which overrides the
+        policy's cache spec (enable the default in-memory cache with
+        ``policy=ExecutionPolicy(cache=True)``).  Callers own the returned
+        engine and should :meth:`~repro.engine.BatchedQueryEngine.close` it
+        (or use it as a context manager) when a multi-worker backend was
+        requested.
 
-        return build_query_engine(
-            self.model,
-            naturalness=self.naturalness,
-            batch_size=DEFAULT_BATCH_SIZE if batch_size is None else batch_size,
-            cache=cache,
-            engine=engine,
-            num_workers=num_workers,
+        The ``engine``/``num_workers``/``batch_size`` knobs are
+        **deprecated** shims folding into ``policy``.
+        """
+        from ..engine.batching import CacheBackend
+        from ..runtime.policy import ExecutionPolicy, resolve_legacy_knobs
+
+        resolved = resolve_legacy_knobs(
+            "Scenario.query_engine",
+            policy,
+            ExecutionPolicy(),
+            {
+                "engine": ("backend", engine),
+                "num_workers": ("num_workers", num_workers),
+                "batch_size": ("batch_size", batch_size),
+            },
+            stacklevel=4,
+        )
+        if cache is not None and not isinstance(cache, CacheBackend):
+            raise ConfigurationError(
+                "cache must be None or a CacheBackend instance "
+                "(get/put/clear/__len__); enable the default in-memory cache "
+                f"via policy=ExecutionPolicy(cache=True), got {cache!r}"
+            )
+        return resolved.build_engine(
+            self.model, naturalness=self.naturalness, cache=cache
         )
 
 

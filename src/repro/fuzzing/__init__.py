@@ -1,7 +1,9 @@
 """Naturalness-guided fuzzing for operational adversarial examples (RQ3)."""
 
 from .fuzzer import (
+    DEFAULT_FUZZER_POLICY,
     EXECUTION_MODES,
+    FUZZER_LEGACY_KNOBS,
     FuzzCampaignResult,
     FuzzerConfig,
     OperationalFuzzer,
@@ -20,7 +22,9 @@ from .mutations import (
 
 __all__ = [
     "BatchMutationContext",
+    "DEFAULT_FUZZER_POLICY",
     "EXECUTION_MODES",
+    "FUZZER_LEGACY_KNOBS",
     "FuzzCampaignResult",
     "FuzzerConfig",
     "OperationalFuzzer",

@@ -20,27 +20,28 @@ signals:
 
 Execution model
 ---------------
-Two statistically equivalent execution strategies are provided (selected by
-``FuzzerConfig.execution``):
+Control flow and execution substrate are separate axes:
 
-* ``"population"`` (default) — lock-step population fuzzing via
+* ``FuzzerConfig.execution`` picks the *control flow* — ``"population"``
+  (default; lock-step population fuzzing via
   :class:`repro.engine.PopulationFuzzEngine`: all live seeds propose each
-  round, proposals are concatenated, and one batched naturalness call plus
-  one batched ``predict_proba`` call service the whole population.  This is
-  the fast path: physical model calls shrink by roughly the population size.
-* ``"sequential"`` — the reference one-seed-at-a-time loop, kept for
-  equivalence testing and as the ground truth for the per-seed semantics.
-* ``"sharded"`` — the population control flow with its physical chunks
-  sharded across ``num_workers`` worker processes
-  (:class:`repro.engine.ShardedQueryEngine`).  Shard boundaries and
-  shard→worker assignment are deterministic and the workers run exact
-  pickled replicas, so campaigns are bit-identical to ``"population"``.
+  round and one batched naturalness call plus one batched ``predict_proba``
+  call service the whole population) or ``"sequential"`` (the reference
+  one-seed-at-a-time loop, kept for equivalence testing and as the ground
+  truth for the per-seed semantics).
+* ``FuzzerConfig.policy`` (an :class:`repro.runtime.ExecutionPolicy`) picks
+  the *execution substrate*: the registered model backend (in-process
+  ``"batched"`` or replicated multi-worker ``"sharded"``), batching,
+  caching — including a durable cross-process cache via ``cache_dir`` — and
+  the checkpoint cadence.  Campaign results are bit-identical across
+  policies by construction.
 
-Both paths draw each seed's randomness from a private generator spawned from
-the campaign RNG, so a seed sees the same proposal stream no matter which
-execution strategy runs it or which other seeds are being fuzzed alongside.
-Either way every model query flows through a :class:`BatchedQueryEngine`, so
-query statistics (and the optional memoizing cache) are always available via
+Both control flows draw each seed's randomness from a private generator
+spawned from the campaign RNG (the policy's ``rng_spawning`` rule), so a
+seed sees the same proposal stream no matter which execution strategy runs
+it or which other seeds are being fuzzed alongside.  Either way every model
+query flows through a :class:`BatchedQueryEngine`, so query statistics (and
+the optional memoizing cache) are always available via
 ``OperationalFuzzer.last_query_stats``.
 """
 
@@ -52,9 +53,8 @@ from typing import List, Optional, Sequence
 import numpy as np
 from scipy.spatial import cKDTree
 
-from ..config import EPSILON, RngLike, ensure_rng, spawn_rngs
+from ..config import EPSILON, RngLike, ensure_rng
 from ..engine.batching import BatchedQueryEngine, QueryStats
-from ..engine.parallel import query_engine_session
 from ..engine.population import (
     PROPOSAL_CAP_FACTOR,
     PopulationFuzzEngine,
@@ -64,16 +64,33 @@ from ..engine.population import (
 )
 from ..exceptions import FuzzingError
 from ..naturalness.metrics import NaturalnessScorer
-from ..store.cache import PersistentQueryCache
+from ..runtime.policy import ExecutionPolicy, resolve_legacy_knobs, warn_legacy_knob
 from ..store.checkpoint import Checkpointer, campaign_fingerprint, read_checkpoint
 from ..types import AdversarialExample, Classifier
 from .mutations import MutationContext, MutationOperator, default_operators
 
-#: Valid values of :attr:`FuzzerConfig.execution` — the engine knob: the
-#: batched lock-step default, the sequential reference, and the sharded
-#: multi-worker backend (population control flow, physical chunks fanned out
-#: across ``num_workers`` processes).
+#: Valid values of :attr:`FuzzerConfig.execution` — the *control flow* knob:
+#: the batched lock-step default and the sequential reference loop.
+#: ``"sharded"`` is accepted as a deprecated alias for ``execution=
+#: "population"`` plus ``policy.backend="sharded"`` (the execution backend
+#: now lives on the :class:`~repro.runtime.ExecutionPolicy`).
 EXECUTION_MODES = ("population", "sequential", "sharded")
+
+#: Deprecated per-knob parameters of :class:`FuzzerConfig`, each a thin shim
+#: folding into :attr:`FuzzerConfig.policy` (mapping: knob -> policy field).
+FUZZER_LEGACY_KNOBS = {
+    "num_workers": "num_workers",
+    "batch_size": "batch_size",
+    "use_query_cache": "cache",
+    "cache_max_entries": "cache_max_entries",
+    "cache_dir": "cache_dir",
+    "checkpoint_every": "checkpoint_every",
+}
+
+#: The fuzzer's default execution surface: in-process backend with the
+#: memoizing query cache on (the fuzzer re-visits rows constantly, so the
+#: cache is the historical default here — unlike the attacks/assessor).
+DEFAULT_FUZZER_POLICY = ExecutionPolicy(cache=True)
 
 
 @dataclass
@@ -110,32 +127,22 @@ class FuzzerConfig:
         full per-seed budget on seeds whose whole natural neighbourhood is
         robust is exactly the waste the paper wants to avoid.
     execution:
-        ``"population"`` (batched lock-step fuzzing, the fast default),
-        ``"sequential"`` (the reference per-seed loop) or ``"sharded"``
-        (population control flow with chunks sharded across
-        ``num_workers`` worker processes; bit-identical results).
-    num_workers:
-        Worker processes used by the ``"sharded"`` engine (ignored by the
-        other modes).  ``1`` keeps execution in-process.
-    batch_size:
-        Maximum rows per physical model call in the batched engine.
-    use_query_cache:
-        Memoize ``predict_proba`` results by exact row content.  Results are
-        bit-identical with or without the cache; it only skips duplicate
-        physical calls (re-sampled seeds, re-visited candidates).
-    cache_max_entries:
-        Capacity of the memoizing cache.
-    cache_dir:
-        Directory of a durable :class:`repro.store.PersistentQueryCache`.
-        When set (and ``use_query_cache`` is true), the memoizing cache is
-        disk-backed: warm caches survive the process and can be shared
-        across hosts via a common directory.  Results stay bit-identical;
-        only ``QueryStats.model_calls`` shrinks on re-runs.
+        Control flow: ``"population"`` (batched lock-step fuzzing, the fast
+        default) or ``"sequential"`` (the reference per-seed loop).
+        ``"sharded"`` is a deprecated alias for population control flow with
+        ``policy.backend="sharded"``.
+    policy:
+        The campaign's :class:`~repro.runtime.ExecutionPolicy` (backend,
+        workers, batching, caching, checkpoint cadence).  Defaults to
+        :data:`DEFAULT_FUZZER_POLICY` (in-process, query cache on).
+        Campaign results are bit-identical across policies.
+    num_workers, batch_size, use_query_cache, cache_max_entries, cache_dir,
     checkpoint_every:
-        Campaign-checkpoint cadence — population rounds (``"population"`` /
-        ``"sharded"``) or seeds (``"sequential"``) between snapshots.  0
-        disables checkpointing; a positive value only takes effect when
-        :meth:`OperationalFuzzer.fuzz` is given a ``checkpoint_path``.
+        **Deprecated** per-knob shims.  Each one emits a
+        ``DeprecationWarning`` and overrides the matching field of
+        ``policy`` (``use_query_cache`` maps to ``policy.cache``); after
+        construction they read as ``None`` and only the resolved ``policy``
+        carries the execution surface.
     """
 
     epsilon: float = 0.1
@@ -150,12 +157,13 @@ class FuzzerConfig:
     max_energy: float = 2.0
     stall_limit: int = 8
     execution: str = "population"
-    num_workers: int = 2
-    batch_size: int = 4096
-    use_query_cache: bool = True
-    cache_max_entries: int = 65536
+    policy: Optional[ExecutionPolicy] = None
+    num_workers: Optional[int] = None
+    batch_size: Optional[int] = None
+    use_query_cache: Optional[bool] = None
+    cache_max_entries: Optional[int] = None
     cache_dir: Optional[str] = None
-    checkpoint_every: int = 0
+    checkpoint_every: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.epsilon <= 0:
@@ -180,14 +188,34 @@ class FuzzerConfig:
             raise FuzzingError(
                 f"execution must be one of {EXECUTION_MODES}, got {self.execution!r}"
             )
-        if self.num_workers <= 0:
-            raise FuzzingError("num_workers must be positive")
-        if self.batch_size <= 0:
-            raise FuzzingError("batch_size must be positive")
-        if self.cache_max_entries <= 0:
-            raise FuzzingError("cache_max_entries must be positive")
-        if self.checkpoint_every < 0:
-            raise FuzzingError("checkpoint_every must be non-negative")
+        policy = resolve_legacy_knobs(
+            "FuzzerConfig",
+            self.policy,
+            DEFAULT_FUZZER_POLICY,
+            {
+                knob: (policy_field, getattr(self, knob))
+                for knob, policy_field in FUZZER_LEGACY_KNOBS.items()
+            },
+            error=FuzzingError,
+            stacklevel=5,
+        )
+        if self.execution == "sharded":
+            warn_legacy_knob(
+                "FuzzerConfig",
+                "execution",
+                "policy=ExecutionPolicy(backend='sharded')",
+                stacklevel=4,
+            )
+            overrides = {"backend": "sharded"}
+            if self.num_workers is None and self.policy is None:
+                overrides["num_workers"] = 2  # the historical sharded default
+            policy = policy.replace(**overrides)
+            self.execution = "population"
+        self.policy = policy
+        # the shims have been folded into the policy; null them so replace()
+        # round-trips warning-free and equality ignores the spelling used
+        for knob in FUZZER_LEGACY_KNOBS:
+            setattr(self, knob, None)
 
 
 @dataclass
@@ -313,8 +341,8 @@ class OperationalFuzzer:
             Seed or generator.
         checkpoint_path:
             Where to snapshot the campaign every
-            ``config.checkpoint_every`` rounds/seeds (atomic replace; see
-            :mod:`repro.store.checkpoint`).  ``None`` disables snapshots.
+            ``config.policy.checkpoint_every`` rounds/seeds (atomic replace;
+            see :mod:`repro.store.checkpoint`).  ``None`` disables snapshots.
         resume_from:
             Path of a checkpoint written by an earlier (interrupted) run of
             *this* campaign — same seeds, labels and control-flow config,
@@ -368,34 +396,25 @@ class OperationalFuzzer:
                     "(seeds, labels or control-flow config differ)"
                 )
         checkpointer = None
-        if checkpoint_path is not None and cfg.checkpoint_every > 0:
+        if checkpoint_path is not None and cfg.policy.checkpoint_every > 0:
             checkpointer = Checkpointer(
                 checkpoint_path,
-                every=cfg.checkpoint_every,
+                every=cfg.policy.checkpoint_every,
                 meta={"fingerprint": fingerprint, "kind": kind},
             )
         energies = self._seed_energies(op_densities, len(seeds))
         # on resume the snapshot carries every live RNG; do not consume the
         # campaign generator so direct runs and resumed runs stay aligned
         rngs = (
-            spawn_rngs(generator, len(seeds)) if resume_state is None else []
+            cfg.policy.spawn_rngs(generator, len(seeds))
+            if resume_state is None
+            else []
         )
         nominal_budgets = [
             max(1, int(round(cfg.queries_per_seed * energies[i])))
             for i in range(len(seeds))
         ]
-        cache: object = cfg.use_query_cache
-        if cfg.use_query_cache and cfg.cache_dir is not None:
-            cache = PersistentQueryCache(cfg.cache_dir)
-        with query_engine_session(
-            model,
-            naturalness=self.naturalness,
-            batch_size=cfg.batch_size,
-            cache=cache,
-            cache_max_entries=cfg.cache_max_entries,
-            engine="sharded" if cfg.execution == "sharded" else "batched",
-            num_workers=cfg.num_workers if cfg.execution == "sharded" else 1,
-        ) as engine:
+        with cfg.policy.session(model, naturalness=self.naturalness) as engine:
             self.last_query_stats = engine.stats
             if resume_state is not None:
                 # continue the interrupted campaign's accounting: counters
@@ -670,6 +689,8 @@ class OperationalFuzzer:
 
 __all__ = [
     "EXECUTION_MODES",
+    "FUZZER_LEGACY_KNOBS",
+    "DEFAULT_FUZZER_POLICY",
     "FuzzerConfig",
     "OperationalFuzzer",
     "FuzzCampaignResult",

@@ -27,6 +27,7 @@ from ..data.partition import Partition
 from ..exceptions import ReliabilityError
 from ..nn.metrics import accuracy
 from ..op.profile import OperationalProfile
+from ..runtime.policy import ExecutionPolicy, resolve_legacy_knobs
 from ..types import Classifier
 from .bayesian import BayesianCellModel, BetaPrior
 from .cells import CellEvidenceTable, CellRobustnessEvaluator
@@ -155,16 +156,13 @@ class ReliabilityAssessor:
         One-sided credible level of the reported bounds.
     op_samples:
         Monte Carlo samples used to discretise the profile onto the partition.
-    batch_size:
-        Rows per physical model call when collecting evidence (threaded into
-        the default evaluator and the Monte Carlo estimator).
-    engine:
-        Execution backend for evidence collection (``"batched"`` in-process,
-        ``"sharded"`` across ``num_workers`` worker processes); threaded into
-        the default evaluator and the Monte Carlo estimator.  Estimates are
-        bit-identical across backends.
-    num_workers:
-        Worker processes used by the sharded backend.
+    policy:
+        :class:`~repro.runtime.ExecutionPolicy` for evidence collection
+        (threaded into the default evaluator and the Monte Carlo estimator).
+        Estimates are bit-identical across policies.
+    batch_size, engine, num_workers:
+        **Deprecated** per-knob shims folding into ``policy`` (``engine``
+        maps to ``policy.backend``); each emits a ``DeprecationWarning``.
     """
 
     def __init__(
@@ -175,32 +173,35 @@ class ReliabilityAssessor:
         prior: Optional[BetaPrior] = None,
         confidence: float = 0.90,
         op_samples: int = 4096,
-        batch_size: int = 4096,
-        engine: str = "batched",
-        num_workers: int = 1,
+        batch_size: Optional[int] = None,
+        engine: Optional[str] = None,
+        num_workers: Optional[int] = None,
+        policy: Optional[ExecutionPolicy] = None,
         rng: RngLike = None,
     ) -> None:
-        from ..engine.parallel import validate_engine_knobs
-
         if not 0 < confidence < 1:
             raise ReliabilityError("confidence must be in (0, 1)")
-        if batch_size <= 0:
-            raise ReliabilityError("batch_size must be positive")
-        validate_engine_knobs(engine, num_workers, exception=ReliabilityError)
+        self.policy = resolve_legacy_knobs(
+            "ReliabilityAssessor",
+            policy,
+            ExecutionPolicy(),
+            {
+                "batch_size": ("batch_size", batch_size),
+                "engine": ("backend", engine),
+                "num_workers": ("num_workers", num_workers),
+            },
+            error=ReliabilityError,
+            stacklevel=4,
+        )
         self.partition = partition
         self.profile = profile
-        self.batch_size = batch_size
-        self.engine = engine
-        self.num_workers = num_workers
         self.evaluator = (
             evaluator
             if evaluator is not None
             else CellRobustnessEvaluator(
                 partition,
                 samples_per_cell=10,
-                batch_size=batch_size,
-                engine=engine,
-                num_workers=num_workers,
+                policy=self.policy,
             )
         )
         self.bayes = BayesianCellModel(prior=prior)
@@ -279,19 +280,12 @@ class ReliabilityAssessor:
             raise ReliabilityError("num_samples must be positive")
         from scipy.spatial import cKDTree
 
-        from ..engine.parallel import query_engine_session
-
         generator = ensure_rng(rng or self._rng)
         samples = self.profile.sample(num_samples, generator)
         tree = cKDTree(reference.x)
         _, indices = tree.query(samples)
         labels = reference.y[indices]
-        with query_engine_session(
-            model,
-            batch_size=self.batch_size,
-            engine=self.engine,
-            num_workers=self.num_workers,
-        ) as query_engine:
+        with self.policy.session(model) as query_engine:
             return accuracy(labels, np.asarray(query_engine.predict(samples)))
 
     def identify_weak_cells(

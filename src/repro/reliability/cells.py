@@ -128,13 +128,12 @@ class CellRobustnessEvaluator:
         sampling test points (defaults to the cell radius).
     include_center:
         Also evaluate the labelled points themselves (counts towards trials).
-    batch_size:
-        Rows per physical model call when classifying the test points.
-    engine:
-        Execution backend for those calls (``"batched"`` in-process,
-        ``"sharded"`` across worker processes — evidence is bit-identical).
-    num_workers:
-        Worker processes used by the sharded backend.
+    policy:
+        :class:`~repro.runtime.ExecutionPolicy` for classifying the test
+        points.  Evidence is bit-identical across policies.
+    batch_size, engine, num_workers:
+        **Deprecated** per-knob shims folding into ``policy`` (``engine``
+        maps to ``policy.backend``); each emits a ``DeprecationWarning``.
     """
 
     def __init__(
@@ -143,24 +142,31 @@ class CellRobustnessEvaluator:
         samples_per_cell: int = 10,
         perturbation_radius: Optional[float] = None,
         include_center: bool = True,
-        batch_size: int = 4096,
-        engine: str = "batched",
-        num_workers: int = 1,
+        batch_size: Optional[int] = None,
+        engine: Optional[str] = None,
+        num_workers: Optional[int] = None,
+        policy: Optional["ExecutionPolicy"] = None,
     ) -> None:
-        from ..engine.parallel import validate_engine_knobs
+        from ..runtime.policy import ExecutionPolicy, resolve_legacy_knobs
 
         if samples_per_cell <= 0:
             raise ReliabilityError("samples_per_cell must be positive")
-        if batch_size <= 0:
-            raise ReliabilityError("batch_size must be positive")
-        validate_engine_knobs(engine, num_workers, exception=ReliabilityError)
+        self.policy = resolve_legacy_knobs(
+            "CellRobustnessEvaluator",
+            policy,
+            ExecutionPolicy(),
+            {
+                "batch_size": ("batch_size", batch_size),
+                "engine": ("backend", engine),
+                "num_workers": ("num_workers", num_workers),
+            },
+            error=ReliabilityError,
+            stacklevel=4,
+        )
         self.partition = partition
         self.samples_per_cell = samples_per_cell
         self.perturbation_radius = perturbation_radius
         self.include_center = include_center
-        self.batch_size = batch_size
-        self.engine = engine
-        self.num_workers = num_workers
 
     def evaluate(
         self,
@@ -209,14 +215,7 @@ class CellRobustnessEvaluator:
             metas.append((int(cell_id), label, len(members), len(test_points)))
 
         if pending:
-            from ..engine.parallel import query_engine_session
-
-            with query_engine_session(
-                model,
-                batch_size=self.batch_size,
-                engine=self.engine,
-                num_workers=self.num_workers,
-            ) as query_engine:
+            with self.policy.session(model) as query_engine:
                 predictions = np.asarray(
                     query_engine.predict(np.concatenate(pending, axis=0))
                 )

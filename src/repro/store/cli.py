@@ -3,18 +3,22 @@
 The service surface over the campaign store:
 
 ``run``
-    Prepare a named scenario, run the operational testing loop with
-    checkpointing and a (optionally durable) query cache, and record the
-    campaign — config, engine stats, detections, reliability estimates,
-    iteration report — as a registry artifact.
+    Run a campaign described by a declarative
+    :class:`repro.runtime.CampaignSpec` — from a JSON/TOML file
+    (``--spec campaign.json``), from a stored run's recorded spec
+    (``--from-run run-0001``), or assembled from the legacy per-flag
+    options.  Whichever way the spec arrives, it is recorded **verbatim**
+    in the run registry (``run.json`` → ``config.spec``), so every stored
+    run is reproducible from its spec alone.
 ``resume``
-    Pick up an interrupted run from its checkpoint.  The scenario and loop
-    are rebuilt from the recorded config (same seed), so the resumed
-    campaign continues bit-identically.
+    Pick up an interrupted run from its checkpoint.  The campaign is
+    rebuilt from the recorded spec (same seed), so the resumed campaign
+    continues bit-identically.
 ``ls``
     List registered runs.
 ``show``
-    Render one stored run (config, stats, iteration table, estimates).
+    Render one stored run (campaign spec, stats, iteration table,
+    estimates).
 ``gc``
     Delete stored runs by status and/or count.
 
@@ -29,7 +33,7 @@ import sys
 from typing import List, Optional
 
 from ..config import default_runs_dir
-from ..exceptions import ReproError
+from ..exceptions import ReproError, StoreError
 from .registry import RUN_STATUSES, RunRegistry, StoredRun
 
 
@@ -45,10 +49,15 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     commands = parser.add_subparsers(dest="command", required=True)
 
-    run = commands.add_parser("run", help="run a campaign on a named scenario")
+    run = commands.add_parser("run", help="run a campaign")
+    run.add_argument("--spec", default=None, metavar="PATH",
+                     help="declarative campaign spec (JSON, or TOML by suffix); "
+                          "overrides the per-flag options below")
+    run.add_argument("--from-run", default=None, metavar="RUN_ID",
+                     help="re-launch a new campaign from a stored run's spec")
+    run.add_argument("--name", default=None, help="registry name (default: scenario)")
     run.add_argument("--scenario", default="two-moons",
                      help="scenario name (see repro.evaluation.available_scenarios)")
-    run.add_argument("--name", default=None, help="registry name (default: scenario)")
     run.add_argument("--seed", type=int, default=2021, help="campaign RNG seed")
     run.add_argument("--samples", type=int, default=None,
                      help="scenario dataset size override (smaller = faster)")
@@ -62,7 +71,8 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("--target-pmi", type=float, default=0.02)
     run.add_argument("--engine", default=None,
                      choices=("sequential", "population", "sharded"),
-                     help="execution engine for the whole loop")
+                     help="execution for the whole loop (sharded selects the "
+                          "replicated multi-worker backend)")
     run.add_argument("--workers", type=int, default=1,
                      help="worker processes for --engine sharded")
     run.add_argument("--cache-dir", default=None,
@@ -87,44 +97,72 @@ def _build_parser() -> argparse.ArgumentParser:
 
 
 # --------------------------------------------------------------------------- #
-# campaign construction (shared by run and resume)
+# spec plumbing (shared by run and resume)
 # --------------------------------------------------------------------------- #
+def _spec_from_flags(args: argparse.Namespace) -> dict:
+    """Assemble a campaign-spec document from the legacy per-flag options.
+
+    The flags never touch the deprecated per-knob configuration surface:
+    they are translated straight into the policy/section layout, so the
+    stored run looks exactly like one launched from a spec file.
+    """
+    from ..runtime.policy import ExecutionPolicy
+
+    scenario: dict = {"name": args.scenario}
+    if args.samples is not None:
+        scenario["samples"] = int(args.samples)
+    if args.epochs is not None:
+        scenario["epochs"] = int(args.epochs)
+    fuzzer: dict = {"queries_per_seed": int(args.queries_per_seed)}
+    if args.engine == "sequential":
+        fuzzer["execution"] = "sequential"
+    policy = ExecutionPolicy(
+        backend="sharded" if args.engine == "sharded" else "batched",
+        num_workers=int(args.workers),
+        cache=True,
+        cache_dir=args.cache_dir,
+        checkpoint_every=int(args.checkpoint_every),
+    )
+    return {
+        "name": args.name,
+        "seed": int(args.seed),
+        "scenario": scenario,
+        "fuzzer": fuzzer,
+        "workflow": {
+            "test_budget_per_iteration": int(args.budget),
+            "seeds_per_iteration": int(args.seeds_per_iteration),
+        },
+        "stopping": {
+            "target_pmi": float(args.target_pmi),
+            "max_iterations": int(args.iterations),
+        },
+        "policy": policy.to_dict(),
+    }
+
+
+def _stored_spec(run: StoredRun) -> dict:
+    spec_data = run.config.get("spec")
+    if spec_data is None:
+        raise StoreError(
+            f"{run.run_id} predates the campaign-spec registry format and "
+            "cannot be rebuilt; launch a fresh campaign with `python -m repro run`"
+        )
+    return spec_data
+
+
 def _build_campaign(config: dict):
     """Rebuild (scenario, loop) from a recorded run config, deterministically."""
     # imported here (not module top) so `ls`/`show`/`gc` stay snappy and the
     # store package never depends on the high-level packages at import time
-    from ..core.workflow import OperationalTestingLoop, WorkflowConfig
-    from ..evaluation.scenarios import make_scenario
-    from ..fuzzing.fuzzer import FuzzerConfig
-    from ..reliability.assessment import StoppingRule
+    from ..runtime.spec import CampaignSpec
 
-    overrides = {}
-    if config.get("samples") is not None:
-        overrides["num_samples"] = int(config["samples"])
-    if config.get("epochs") is not None:
-        overrides["epochs"] = int(config["epochs"])
-    scenario = make_scenario(config["scenario"], rng=int(config["seed"]), **overrides)
-    loop = OperationalTestingLoop(
-        profile=scenario.profile,
-        train_data=scenario.train_data,
-        partition=scenario.partition,
-        naturalness=scenario.naturalness,
-        fuzzer_config=FuzzerConfig(queries_per_seed=int(config["queries_per_seed"])),
-        stopping_rule=StoppingRule(
-            target_pmi=float(config["target_pmi"]),
-            max_iterations=int(config["iterations"]),
-        ),
-        workflow_config=WorkflowConfig(
-            test_budget_per_iteration=int(config["budget"]),
-            seeds_per_iteration=int(config["seeds_per_iteration"]),
-            engine=config.get("engine"),
-            num_workers=int(config.get("workers", 1)),
-            cache_dir=config.get("cache_dir"),
-            checkpoint_every=int(config.get("checkpoint_every", 1)),
-        ),
-        rng=int(config["seed"]),
-    )
-    return scenario, loop
+    spec_data = config.get("spec")
+    if spec_data is None:
+        raise StoreError(
+            "run has no recorded campaign spec (pre-spec registry format); "
+            "re-run the campaign with `python -m repro run`"
+        )
+    return CampaignSpec.from_dict(spec_data).build()
 
 
 def _execute(run: StoredRun, resume: bool) -> None:
@@ -134,7 +172,7 @@ def _execute(run: StoredRun, resume: bool) -> None:
         if not run.checkpoint_path.exists():
             raise ReproError(
                 f"{run.run_id} has no checkpoint to resume from; "
-                "re-run it with --checkpoint-every > 0"
+                "re-run it with a policy whose checkpoint_every > 0"
             )
         resume_from = str(run.checkpoint_path)
     try:
@@ -162,22 +200,24 @@ def _execute(run: StoredRun, resume: bool) -> None:
 # commands
 # --------------------------------------------------------------------------- #
 def _cmd_run(registry: RunRegistry, args: argparse.Namespace) -> int:
-    config = {
-        "scenario": args.scenario,
-        "seed": args.seed,
-        "samples": args.samples,
-        "epochs": args.epochs,
-        "iterations": args.iterations,
-        "budget": args.budget,
-        "seeds_per_iteration": args.seeds_per_iteration,
-        "queries_per_seed": args.queries_per_seed,
-        "target_pmi": args.target_pmi,
-        "engine": args.engine,
-        "workers": args.workers,
-        "cache_dir": args.cache_dir,
-        "checkpoint_every": args.checkpoint_every,
-    }
-    run = registry.create(args.name or args.scenario, config)
+    from ..runtime.policy import load_structured_file
+    from ..runtime.spec import CampaignSpec
+
+    if args.spec is not None and args.from_run is not None:
+        raise ReproError("--spec and --from-run are mutually exclusive")
+    if args.spec is not None:
+        spec_data = load_structured_file(args.spec)
+    elif args.from_run is not None:
+        spec_data = _stored_spec(registry.get(args.from_run))
+    else:
+        spec_data = _spec_from_flags(args)
+    # validate before registering — a malformed spec never creates a run;
+    # anything that can only fail at build time (e.g. an unknown scenario
+    # name) is recorded and marks the run "failed"
+    spec = CampaignSpec.from_dict(spec_data)
+    # the registry records the spec document *verbatim* (not a normalised
+    # re-serialisation), so a stored run reproduces exactly what was launched
+    run = registry.create(args.name or spec.campaign_name, {"spec": spec_data})
     print(f"registered {run.run_id} ({run.name}) under {registry.root}")
     _execute(run, resume=False)
     return 0

@@ -10,6 +10,7 @@ from repro.engine import (
 )
 from repro.exceptions import ConfigurationError, FuzzingError
 from repro.fuzzing import FuzzerConfig, OperationalFuzzer
+from repro.runtime import ExecutionPolicy
 
 
 @pytest.fixture()
@@ -200,7 +201,7 @@ class TestPopulationSequentialEquivalence:
         calls = {}
         for mode in ("population", "sequential"):
             fuzzer = _make_fuzzer(
-                cluster_naturalness, data.x, mode, use_query_cache=False
+                cluster_naturalness, data.x, mode, policy=ExecutionPolicy(cache=False)
             )
             fuzzer.fuzz(trained_cluster_model, seeds, labels, rng=0)
             stats = fuzzer.last_query_stats
@@ -264,17 +265,20 @@ class TestBudgetInvariants:
 
 
 class TestFuzzerConfigEngineKnobs:
+    def test_invalid_execution_mode(self):
+        with pytest.raises(FuzzingError):
+            FuzzerConfig(execution="warp")
+
     @pytest.mark.parametrize(
         "kwargs",
         [
-            {"execution": "warp"},
             {"batch_size": 0},
             {"cache_max_entries": 0},
         ],
     )
-    def test_invalid_engine_knobs(self, kwargs):
-        with pytest.raises(FuzzingError):
-            FuzzerConfig(**kwargs)
+    def test_invalid_policy_values(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            FuzzerConfig(policy=ExecutionPolicy(**kwargs))
 
     def test_cache_does_not_change_results(
         self, trained_cluster_model, cluster_naturalness, operational_cluster_data
@@ -283,7 +287,10 @@ class TestFuzzerConfigEngineKnobs:
         campaigns = {}
         for use_cache in (True, False):
             fuzzer = _make_fuzzer(
-                cluster_naturalness, data.x, "population", use_query_cache=use_cache
+                cluster_naturalness,
+                data.x,
+                "population",
+                policy=ExecutionPolicy(cache=use_cache),
             )
             campaigns[use_cache] = fuzzer.fuzz(
                 trained_cluster_model, data.x[:12], data.y[:12], rng=7

@@ -29,6 +29,7 @@ from repro.evaluation import make_scenario
 from repro.exceptions import ConfigurationError, FuzzingError
 from repro.fuzzing import FuzzerConfig, OperationalFuzzer
 from repro.reliability import ReliabilityAssessor
+from repro.runtime import ExecutionPolicy
 
 SCENARIO_MATRIX = ["two-moons", "gaussian-clusters", "glyph-digits"]
 
@@ -90,14 +91,25 @@ def _assert_campaigns_equivalent(reference, candidate, exact=True):
     assert reference.detection_rate == candidate.detection_rate
 
 
-def _fuzzer(naturalness, pool, execution, **overrides):
+def _fuzzer(naturalness, pool, mode, **overrides):
+    """Fuzzer for one point of the equivalence matrix.
+
+    ``mode`` is the historical triple: ``"sequential"``/``"population"``
+    select the control flow on the in-process backend, ``"sharded"`` selects
+    population control flow on the replicated two-worker backend.
+    """
     defaults = dict(
         epsilon=0.12,
         queries_per_seed=20,
         naturalness_threshold=0.3,
-        execution=execution,
-        num_workers=2,
     )
+    if mode == "sharded":
+        defaults.update(
+            execution="population",
+            policy=ExecutionPolicy(backend="sharded", num_workers=2, cache=True),
+        )
+    else:
+        defaults.update(execution=mode)
     defaults.update(overrides)
     return OperationalFuzzer(
         naturalness=naturalness, config=FuzzerConfig(**defaults), natural_pool=pool
@@ -245,8 +257,11 @@ class TestShardedCampaignEquivalence:
             campaign.validate_budget(budget)
 
     def test_invalid_num_workers_rejected(self):
-        with pytest.raises(FuzzingError):
-            FuzzerConfig(num_workers=0)
+        with pytest.raises(ConfigurationError):
+            FuzzerConfig(policy=ExecutionPolicy(num_workers=0))
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(FuzzingError):
+                FuzzerConfig(num_workers=0)  # the deprecated shim path
         with pytest.raises(ConfigurationError):
             plan_shards(4, 2, -1)
 
@@ -266,7 +281,12 @@ class TestShardedAttacks:
         y = operational_cluster_data.y[:24]
         results = {}
         for backend, workers in (("batched", 1), ("sharded", 2)):
-            attack = cls(epsilon=0.1, batch_size=16, engine=backend, num_workers=workers)
+            attack = cls(
+                epsilon=0.1,
+                policy=ExecutionPolicy(
+                    backend=backend, num_workers=workers, batch_size=16
+                ),
+            )
             results[backend] = attack.run(trained_cluster_model, x, y, rng=4)
         batched, sharded = results["batched"], results["sharded"]
         np.testing.assert_array_equal(batched.adversarial_x, sharded.adversarial_x)
@@ -280,10 +300,15 @@ class TestShardedAttacks:
         from repro.attacks import RandomFuzz
         from repro.exceptions import AttackError
 
-        with pytest.raises(AttackError):
-            RandomFuzz(engine="warp")
-        with pytest.raises(AttackError):
-            RandomFuzz(engine="sharded", num_workers=0)
+        with pytest.raises(ConfigurationError):
+            RandomFuzz(policy=ExecutionPolicy(backend="warp"))
+        # the deprecated shims keep validating, in the attack's own taxonomy
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(AttackError):
+                RandomFuzz(engine="warp")
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(AttackError):
+                RandomFuzz(engine="sharded", num_workers=0)
 
 
 # --------------------------------------------------------------------------- #
@@ -491,8 +516,7 @@ class TestScenarioMatrixEquivalence:
             assessor = ReliabilityAssessor(
                 partition=scenario.partition,
                 profile=scenario.profile,
-                engine=backend,
-                num_workers=2,
+                policy=ExecutionPolicy(backend=backend, num_workers=2),
                 rng=99,
             )
             estimates[backend] = assessor.assess(
@@ -507,8 +531,9 @@ class TestScenarioMatrixEquivalence:
 
     def test_sharded_engine_bitwise_on_scenario_inputs(self, scenario):
         x = scenario.operational_data.x[:48]
-        with scenario.query_engine(engine="sharded", num_workers=2, batch_size=16) as sharded:
-            with scenario.query_engine(engine="batched", batch_size=16) as batched:
+        sharded_policy = ExecutionPolicy(backend="sharded", num_workers=2, batch_size=16)
+        with scenario.query_engine(policy=sharded_policy) as sharded:
+            with scenario.query_engine(policy=ExecutionPolicy(batch_size=16)) as batched:
                 np.testing.assert_array_equal(
                     sharded.predict_proba(x), batched.predict_proba(x)
                 )

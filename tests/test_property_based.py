@@ -328,6 +328,8 @@ class TestEngineShardingProperties:
         execution,
         num_workers,
     ):
+        from repro.runtime import ExecutionPolicy
+
         data = operational_cluster_data
         fuzzer = OperationalFuzzer(
             naturalness=cluster_naturalness,
@@ -335,8 +337,12 @@ class TestEngineShardingProperties:
                 epsilon=0.12,
                 queries_per_seed=8,
                 naturalness_threshold=0.3,
-                execution=execution,
-                num_workers=num_workers,
+                execution="sequential" if execution == "sequential" else "population",
+                policy=ExecutionPolicy(
+                    backend="sharded" if execution == "sharded" else "batched",
+                    num_workers=num_workers if execution == "sharded" else 1,
+                    cache=True,
+                ),
                 stall_limit=4,
             ),
             natural_pool=data.x,

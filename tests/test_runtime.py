@@ -1,0 +1,769 @@
+"""Runtime API: ExecutionPolicy, the backend registry, CampaignSpec, shims.
+
+The acceptance pins of the api_redesign PR:
+
+* ``ExecutionPolicy`` / ``CampaignSpec`` serialize exactly (dict and file
+  round-trips) and reject unknown keys and unknown backend names.
+* A campaign configured via ``ExecutionPolicy`` is **bit-identical**
+  (detections, per-seed query counts, reliability estimates, ``QueryStats``)
+  to the same campaign configured via the legacy knobs, for both the
+  in-process (``batched``) and replicated (``sharded``) backends.
+* Every legacy knob emits one ``DeprecationWarning`` naming the
+  ``ExecutionPolicy`` replacement.
+* ``python -m repro run --spec`` records the spec document verbatim,
+  ``show`` renders it, and ``run --from-run`` re-launches from it.
+"""
+
+import json
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.data import build_partition_for_dataset
+from repro.engine import BatchedQueryEngine, QueryCache
+from repro.evaluation.scenarios import Scenario
+from repro.exceptions import (
+    AttackError,
+    ConfigurationError,
+    FuzzingError,
+    ReliabilityError,
+)
+from repro.fuzzing import DEFAULT_FUZZER_POLICY, FuzzerConfig, OperationalFuzzer
+from repro.reliability import ReliabilityAssessor
+from repro.runtime import (
+    CampaignSpec,
+    ExecutionPolicy,
+    ModelBackend,
+    ReplicatedBackend,
+    SequentialBackend,
+    available_backends,
+    register_backend,
+    unregister_backend,
+)
+
+
+def _legacy(factory, *args, **kwargs):
+    """Build an object through its deprecated knobs, warnings silenced."""
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", DeprecationWarning)
+        return factory(*args, **kwargs)
+
+
+def _campaign_digest(campaign):
+    """Bit-comparable digest of a fuzzing campaign's logical outcome."""
+    return [
+        (
+            r.seed_index,
+            r.queries,
+            r.best_fitness,
+            r.candidates_rejected_by_naturalness,
+            None
+            if r.adversarial_example is None
+            else r.adversarial_example.perturbed.tobytes(),
+        )
+        for r in campaign.per_seed
+    ]
+
+
+# --------------------------------------------------------------------------- #
+# ExecutionPolicy: serialization and validation
+# --------------------------------------------------------------------------- #
+class TestExecutionPolicy:
+    def test_dict_roundtrip_is_exact(self):
+        policy = ExecutionPolicy(
+            backend="sharded",
+            num_workers=3,
+            batch_size=128,
+            cache=True,
+            cache_max_entries=99,
+            cache_dir="/tmp/some-cache",
+            checkpoint_every=2,
+        )
+        assert ExecutionPolicy.from_dict(policy.to_dict()) == policy
+
+    def test_to_dict_is_json_safe(self):
+        payload = ExecutionPolicy().to_dict()
+        assert json.loads(json.dumps(payload)) == payload
+
+    def test_file_roundtrip(self, tmp_path):
+        policy = ExecutionPolicy(batch_size=77, cache=True, checkpoint_every=5)
+        path = tmp_path / "nested" / "policy.json"
+        policy.to_file(path)
+        assert ExecutionPolicy.from_file(path) == policy
+
+    def test_toml_file_loads(self, tmp_path):
+        path = tmp_path / "policy.toml"
+        path.write_text('backend = "sharded"\nnum_workers = 2\ncache = true\n')
+        policy = ExecutionPolicy.from_file(path)
+        assert policy.backend == "sharded"
+        assert policy.num_workers == 2
+        assert policy.cache is True
+
+    def test_unknown_keys_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown ExecutionPolicy"):
+            ExecutionPolicy.from_dict({"backend": "batched", "warp_factor": 9})
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown execution backend"):
+            ExecutionPolicy(backend="quantum")
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"num_workers": 0},
+            {"batch_size": 0},
+            {"cache_max_entries": 0},
+            {"checkpoint_every": -1},
+            {"rng_spawning": "global"},
+            {"cache": "yes"},
+        ],
+    )
+    def test_invalid_values_rejected(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            ExecutionPolicy(**kwargs)
+
+    def test_replace_validates(self):
+        policy = ExecutionPolicy()
+        assert policy.replace(num_workers=4).num_workers == 4
+        with pytest.raises(ConfigurationError):
+            policy.replace(backend="quantum")
+
+    def test_cache_dir_coerced_to_str(self, tmp_path):
+        policy = ExecutionPolicy(cache=True, cache_dir=tmp_path)
+        assert policy.cache_dir == str(tmp_path)
+        assert json.loads(json.dumps(policy.to_dict()))["cache_dir"] == str(tmp_path)
+
+
+# --------------------------------------------------------------------------- #
+# the backend registry and the engine factory
+# --------------------------------------------------------------------------- #
+class TestBackendRegistry:
+    def test_shipping_backends_registered(self):
+        assert set(available_backends()) >= {"batched", "sharded"}
+
+    def test_engines_and_models_satisfy_model_backend(self, trained_cluster_model):
+        assert isinstance(trained_cluster_model, ModelBackend)
+        engine = BatchedQueryEngine(trained_cluster_model)
+        assert isinstance(engine, ModelBackend)
+
+    def test_build_engine_selects_backend(self, trained_cluster_model):
+        batched = ExecutionPolicy().build_engine(trained_cluster_model)
+        assert isinstance(batched, SequentialBackend)
+        sharded = ExecutionPolicy(backend="sharded", num_workers=2).build_engine(
+            trained_cluster_model
+        )
+        try:
+            assert isinstance(sharded, ReplicatedBackend)
+            assert sharded.num_workers == 2
+        finally:
+            sharded.close()
+
+    def test_build_engine_passthrough_shares_engine(self, trained_cluster_model):
+        owned = BatchedQueryEngine(trained_cluster_model, batch_size=3)
+        assert ExecutionPolicy(backend="sharded").build_engine(owned) is owned
+
+    def test_session_closes_created_engines_only(self, trained_cluster_model):
+        policy = ExecutionPolicy(backend="sharded", num_workers=2)
+        with policy.session(trained_cluster_model) as engine:
+            engine.predict(np.zeros((3, 2)))
+            assert engine._pools is not None
+        assert engine._pools is None
+        owned = policy.build_engine(trained_cluster_model)
+        try:
+            owned.predict(np.zeros((3, 2)))
+            with policy.session(owned) as passed_through:
+                assert passed_through is owned
+            assert owned._pools is not None
+        finally:
+            owned.close()
+
+    def test_policy_cache_spec_builds_caches(self, tmp_path):
+        from repro.store import PersistentQueryCache
+
+        assert ExecutionPolicy().build_cache() is False
+        assert ExecutionPolicy(cache=True).build_cache() is True
+        durable = ExecutionPolicy(cache=True, cache_dir=str(tmp_path)).build_cache()
+        assert isinstance(durable, PersistentQueryCache)
+        # cache_dir without cache=True stays off (cache is the master switch)
+        assert ExecutionPolicy(cache=False, cache_dir=str(tmp_path)).build_cache() is False
+
+    def test_custom_backend_plugs_in(self, trained_cluster_model):
+        calls = []
+
+        try:
+
+            @register_backend("recording")
+            class RecordingBackend(BatchedQueryEngine):
+                @classmethod
+                def from_policy(cls, model, naturalness, policy, cache):
+                    calls.append(policy.backend)
+                    return cls(model, naturalness=naturalness,
+                               batch_size=policy.batch_size, cache=cache)
+
+            policy = ExecutionPolicy(backend="recording", batch_size=7)
+            engine = policy.build_engine(trained_cluster_model)
+            assert isinstance(engine, RecordingBackend)
+            assert engine.batch_size == 7
+            assert calls == ["recording"]
+        finally:
+            unregister_backend("recording")
+        with pytest.raises(ConfigurationError):
+            ExecutionPolicy(backend="recording")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ConfigurationError, match="already registered"):
+
+            @register_backend("batched")
+            class Shadow(BatchedQueryEngine):
+                @classmethod
+                def from_policy(cls, model, naturalness, policy, cache):
+                    raise AssertionError("never built")
+
+    def test_backend_requires_factory(self):
+        with pytest.raises(ConfigurationError, match="from_policy"):
+
+            @register_backend("no-factory")
+            class Broken:
+                pass
+
+
+# --------------------------------------------------------------------------- #
+# deprecation shims: one warning per knob, naming the replacement
+# --------------------------------------------------------------------------- #
+class TestLegacyKnobShims:
+    @pytest.mark.parametrize(
+        "kwargs, knob",
+        [
+            ({"num_workers": 2}, "num_workers"),
+            ({"batch_size": 64}, "batch_size"),
+            ({"use_query_cache": False}, "use_query_cache"),
+            ({"cache_max_entries": 128}, "cache_max_entries"),
+            ({"cache_dir": "/tmp/x"}, "cache_dir"),
+            ({"checkpoint_every": 3}, "checkpoint_every"),
+            ({"execution": "sharded"}, "execution"),
+        ],
+    )
+    def test_fuzzer_config_knobs_warn_and_name_replacement(self, kwargs, knob):
+        with pytest.warns(DeprecationWarning, match="ExecutionPolicy") as record:
+            FuzzerConfig(**kwargs)
+        messages = [str(w.message) for w in record]
+        assert any(f"FuzzerConfig({knob}=...)" in m for m in messages)
+
+    def test_fuzzer_legacy_knobs_fold_into_policy(self):
+        cfg = _legacy(
+            FuzzerConfig,
+            execution="sharded",
+            num_workers=3,
+            batch_size=32,
+            use_query_cache=False,
+            cache_max_entries=11,
+            cache_dir="/tmp/c",
+            checkpoint_every=4,
+        )
+        assert cfg.execution == "population"  # control flow normalised
+        assert cfg.policy == ExecutionPolicy(
+            backend="sharded",
+            num_workers=3,
+            batch_size=32,
+            cache=False,
+            cache_max_entries=11,
+            cache_dir="/tmp/c",
+            checkpoint_every=4,
+        )
+        # the shims are spent: reconstructing from the resolved config is
+        # warning-free and equal
+        import dataclasses
+
+        assert dataclasses.replace(cfg) == cfg
+        assert cfg.num_workers is None and cfg.batch_size is None
+
+    def test_fuzzer_sharded_alias_keeps_historical_worker_default(self):
+        cfg = _legacy(FuzzerConfig, execution="sharded")
+        assert cfg.policy.backend == "sharded"
+        assert cfg.policy.num_workers == 2
+
+    def test_fuzzer_default_policy(self):
+        cfg = FuzzerConfig()
+        assert cfg.policy == DEFAULT_FUZZER_POLICY
+        assert cfg.policy.cache is True  # the fuzzer's historical default
+
+    def test_fuzzer_legacy_validation_keeps_its_taxonomy(self):
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(FuzzingError):
+                FuzzerConfig(batch_size=0)
+
+    def test_workflow_config_knobs_warn(self):
+        from repro.core import WorkflowConfig
+
+        for kwargs in (
+            {"engine": "sharded"},
+            {"num_workers": 2},
+            {"cache_dir": "/tmp/x"},
+            {"checkpoint_every": 1},
+        ):
+            with pytest.warns(DeprecationWarning, match="ExecutionPolicy"):
+                WorkflowConfig(**kwargs)
+
+    def test_workflow_legacy_engine_resolves_overrides(self):
+        from repro.core import WorkflowConfig
+
+        cfg = _legacy(WorkflowConfig, engine="sharded", num_workers=2, cache_dir="/tmp/c")
+        execution, patch = cfg.fuzzer_overrides()
+        assert execution == "population"
+        assert patch == {"backend": "sharded", "num_workers": 2, "cache_dir": "/tmp/c"}
+        assert cfg.assessor_policy() == ExecutionPolicy(backend="sharded", num_workers=2)
+        assert cfg.checkpoint_cadence == 0
+
+    def test_workflow_policy_drives_cadence_and_assessor(self):
+        from repro.core import WorkflowConfig
+
+        policy = ExecutionPolicy(backend="sharded", num_workers=2, cache=True,
+                                 checkpoint_every=3)
+        cfg = WorkflowConfig(policy=policy)
+        assert cfg.checkpoint_cadence == 3
+        assert cfg.assessor_policy() == policy.replace(checkpoint_every=0)
+        _, patch = cfg.fuzzer_overrides()
+        assert patch["backend"] == "sharded"
+        assert "checkpoint_every" not in patch  # fuzzer cadence stays its own
+
+    def test_workflow_policy_config_copies_warning_free(self):
+        import dataclasses
+
+        from repro.core import WorkflowConfig
+
+        cfg = WorkflowConfig(policy=ExecutionPolicy(cache=True, checkpoint_every=3))
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            copied = dataclasses.replace(cfg)
+        assert copied.checkpoint_cadence == 3
+        assert copied == cfg
+
+    def test_legacy_engine_sequential_warning_names_fuzzer_execution(self):
+        from repro.core import WorkflowConfig
+
+        with pytest.warns(DeprecationWarning, match="FuzzerConfig"):
+            cfg = WorkflowConfig(engine="sequential")
+        execution, patch = cfg.fuzzer_overrides()
+        assert execution == "sequential"
+        # the named replacement must not be an ExecutionPolicy backend —
+        # the control flow has no policy equivalent
+        assert patch["backend"] == "batched"
+
+    def test_wrong_typed_policy_rejected_at_construction(self):
+        from repro.attacks import RandomFuzz
+        from repro.core import WorkflowConfig
+
+        with pytest.raises(FuzzingError, match="ExecutionPolicy"):
+            FuzzerConfig(policy="sharded")
+        with pytest.raises(ConfigurationError, match="ExecutionPolicy"):
+            WorkflowConfig(policy={"backend": "sharded"})
+        with pytest.raises(AttackError, match="ExecutionPolicy"):
+            RandomFuzz(policy="batched")
+
+    def test_assessor_and_evaluator_knobs_warn(self, cluster_profile, clusters_dataset):
+        from repro.reliability.cells import CellRobustnessEvaluator
+
+        partition = build_partition_for_dataset(
+            clusters_dataset.x, scheme="grid", bins_per_dim=4
+        )
+        with pytest.warns(DeprecationWarning, match="ExecutionPolicy"):
+            ReliabilityAssessor(
+                partition, cluster_profile, engine="batched", rng=0
+            )
+        with pytest.warns(DeprecationWarning, match="ExecutionPolicy"):
+            CellRobustnessEvaluator(partition, batch_size=64)
+        with pytest.raises(ReliabilityError):
+            _legacy(CellRobustnessEvaluator, partition, num_workers=0)
+
+    def test_attack_knobs_warn(self):
+        from repro.attacks import BoundaryNudge, GaussianNoise, RandomFuzz
+
+        for cls in (RandomFuzz, GaussianNoise, BoundaryNudge):
+            with pytest.warns(DeprecationWarning, match="ExecutionPolicy"):
+                attack = cls(engine="batched", batch_size=32)
+            assert attack.policy.batch_size == 32
+        with pytest.raises(AttackError):
+            _legacy(RandomFuzz, engine="warp")
+
+
+# --------------------------------------------------------------------------- #
+# legacy knobs vs ExecutionPolicy: bit-identical campaigns
+# --------------------------------------------------------------------------- #
+class TestLegacyPolicyEquivalence:
+    """Old-style and new-style configuration of the *same* campaign must be
+    indistinguishable: detections, per-seed query counts, fitness, rejected
+    counts and QueryStats, for both shipping backends."""
+
+    def _run(self, config, model, naturalness, data):
+        fuzzer = OperationalFuzzer(naturalness, config=config, natural_pool=data.x)
+        campaign = fuzzer.fuzz(model, data.x[:10], data.y[:10], budget=120, rng=9)
+        return campaign, fuzzer.last_query_stats
+
+    def test_fuzzer_batched_equivalence(
+        self, trained_cluster_model, cluster_naturalness, operational_cluster_data
+    ):
+        base = dict(epsilon=0.12, queries_per_seed=15, naturalness_threshold=0.3)
+        legacy_cfg = _legacy(
+            FuzzerConfig, batch_size=32, use_query_cache=True, **base
+        )
+        policy_cfg = FuzzerConfig(
+            policy=ExecutionPolicy(batch_size=32, cache=True), **base
+        )
+        legacy, legacy_stats = self._run(
+            legacy_cfg, trained_cluster_model, cluster_naturalness,
+            operational_cluster_data,
+        )
+        modern, modern_stats = self._run(
+            policy_cfg, trained_cluster_model, cluster_naturalness,
+            operational_cluster_data,
+        )
+        assert _campaign_digest(legacy) == _campaign_digest(modern)
+        assert legacy_stats.as_dict() == modern_stats.as_dict()
+
+    def test_fuzzer_sharded_equivalence(
+        self, trained_cluster_model, cluster_naturalness, operational_cluster_data
+    ):
+        base = dict(epsilon=0.12, queries_per_seed=15, naturalness_threshold=0.3)
+        legacy_cfg = _legacy(
+            FuzzerConfig, execution="sharded", num_workers=2, batch_size=32, **base
+        )
+        policy_cfg = FuzzerConfig(
+            policy=ExecutionPolicy(
+                backend="sharded", num_workers=2, batch_size=32, cache=True
+            ),
+            **base,
+        )
+        legacy, legacy_stats = self._run(
+            legacy_cfg, trained_cluster_model, cluster_naturalness,
+            operational_cluster_data,
+        )
+        modern, modern_stats = self._run(
+            policy_cfg, trained_cluster_model, cluster_naturalness,
+            operational_cluster_data,
+        )
+        assert _campaign_digest(legacy) == _campaign_digest(modern)
+        assert legacy_stats.as_dict() == modern_stats.as_dict()
+
+    @pytest.mark.parametrize("backend,workers", [("batched", 1), ("sharded", 2)])
+    def test_attack_equivalence(
+        self, backend, workers, trained_cluster_model, operational_cluster_data
+    ):
+        from repro.attacks import RandomFuzz
+
+        x = operational_cluster_data.x[:20]
+        y = operational_cluster_data.y[:20]
+        legacy_attack = _legacy(
+            RandomFuzz, epsilon=0.1, batch_size=16, engine=backend,
+            num_workers=workers,
+        )
+        policy_attack = RandomFuzz(
+            epsilon=0.1,
+            policy=ExecutionPolicy(
+                backend=backend, num_workers=workers, batch_size=16
+            ),
+        )
+        legacy = legacy_attack.run(trained_cluster_model, x, y, rng=4)
+        modern = policy_attack.run(trained_cluster_model, x, y, rng=4)
+        np.testing.assert_array_equal(legacy.adversarial_x, modern.adversarial_x)
+        np.testing.assert_array_equal(legacy.success, modern.success)
+        np.testing.assert_array_equal(legacy.queries_per_seed, modern.queries_per_seed)
+        assert legacy.queries == modern.queries
+
+    @pytest.mark.parametrize("backend,workers", [("batched", 1), ("sharded", 2)])
+    def test_assessor_equivalence(
+        self,
+        backend,
+        workers,
+        trained_cluster_model,
+        cluster_profile,
+        clusters_dataset,
+        operational_cluster_data,
+    ):
+        partition = build_partition_for_dataset(
+            clusters_dataset.x, scheme="grid", bins_per_dim=4
+        )
+        legacy_assessor = _legacy(
+            ReliabilityAssessor, partition, cluster_profile,
+            engine=backend, num_workers=workers, batch_size=64, rng=5,
+        )
+        policy_assessor = ReliabilityAssessor(
+            partition,
+            cluster_profile,
+            policy=ExecutionPolicy(backend=backend, num_workers=workers, batch_size=64),
+            rng=5,
+        )
+        legacy = legacy_assessor.assess(
+            trained_cluster_model, operational_cluster_data, rng=5
+        )
+        modern = policy_assessor.assess(
+            trained_cluster_model, operational_cluster_data, rng=5
+        )
+        assert legacy.to_dict() == modern.to_dict()
+
+    def test_workflow_equivalence(
+        self,
+        cluster_profile,
+        clusters_split,
+        cluster_naturalness,
+        trained_cluster_model,
+        operational_cluster_data,
+    ):
+        from repro.core import OperationalTestingLoop, WorkflowConfig
+        from repro.reliability import StoppingRule
+
+        def run(workflow_config):
+            loop = OperationalTestingLoop(
+                profile=cluster_profile,
+                train_data=clusters_split[0],
+                naturalness=cluster_naturalness,
+                fuzzer_config=FuzzerConfig(epsilon=0.1, queries_per_seed=8),
+                stopping_rule=StoppingRule(target_pmi=1e-6, max_iterations=1),
+                workflow_config=workflow_config,
+                rng=21,
+            )
+            _, report = loop.run(trained_cluster_model, operational_cluster_data)
+            return report, loop.last_estimate, loop.query_stats
+
+        legacy = run(
+            _legacy(
+                WorkflowConfig,
+                test_budget_per_iteration=80,
+                seeds_per_iteration=5,
+                engine="sharded",
+                num_workers=2,
+            )
+        )
+        modern = run(
+            WorkflowConfig(
+                test_budget_per_iteration=80,
+                seeds_per_iteration=5,
+                policy=ExecutionPolicy(
+                    backend="sharded", num_workers=2, cache=True
+                ),
+            )
+        )
+        legacy_report, legacy_estimate, legacy_stats = legacy
+        modern_report, modern_estimate, modern_stats = modern
+        assert [it.__dict__ for it in legacy_report.iterations] == [
+            it.__dict__ for it in modern_report.iterations
+        ]
+        assert legacy_estimate.to_dict() == modern_estimate.to_dict()
+        assert legacy_stats.as_dict() == modern_stats.as_dict()
+
+
+# --------------------------------------------------------------------------- #
+# Scenario.query_engine: typed cache parameter + policy routing
+# --------------------------------------------------------------------------- #
+class TestScenarioQueryEngine:
+    @pytest.fixture()
+    def scenario(
+        self,
+        clusters_split,
+        trained_cluster_model,
+        cluster_profile,
+        cluster_naturalness,
+        operational_cluster_data,
+        clusters_dataset,
+    ):
+        train, test = clusters_split
+        return Scenario(
+            name="fixture-clusters",
+            train_data=train,
+            test_data=test,
+            operational_data=operational_cluster_data,
+            model=trained_cluster_model,
+            profile=cluster_profile,
+            naturalness=cluster_naturalness,
+            partition=build_partition_for_dataset(
+                clusters_dataset.x, scheme="grid", bins_per_dim=4
+            ),
+            operational_priors=np.array([0.55, 0.25, 0.15, 0.05]),
+        )
+
+    def test_policy_selects_backend(self, scenario):
+        engine = scenario.query_engine(policy=ExecutionPolicy(batch_size=9))
+        assert isinstance(engine, SequentialBackend)
+        assert engine.batch_size == 9
+        assert engine.naturalness is scenario.naturalness
+
+    def test_cache_accepts_backend_instance(self, scenario):
+        cache = QueryCache(max_entries=16)
+        engine = scenario.query_engine(cache=cache)
+        x = scenario.operational_data.x[:4]
+        engine.predict_proba(x)
+        assert len(cache) == 4  # the handed-in backend is the live cache
+
+    def test_cache_rejects_bools(self, scenario):
+        with pytest.raises(ConfigurationError, match="CacheBackend"):
+            scenario.query_engine(cache=True)
+        with pytest.raises(ConfigurationError, match="CacheBackend"):
+            scenario.query_engine(cache=False)
+
+    def test_legacy_knobs_warn_and_route(self, scenario):
+        with pytest.warns(DeprecationWarning, match="ExecutionPolicy"):
+            engine = scenario.query_engine(engine="batched", batch_size=5)
+        assert engine.batch_size == 5
+
+
+# --------------------------------------------------------------------------- #
+# CampaignSpec: round-trips and validation
+# --------------------------------------------------------------------------- #
+class TestCampaignSpec:
+    def _spec(self, **overrides):
+        payload = {
+            "name": "unit-spec",
+            "seed": 7,
+            "scenario": {"name": "two-moons", "samples": 200, "epochs": 3},
+            "fuzzer": {"queries_per_seed": 5},
+            "workflow": {"test_budget_per_iteration": 40, "seeds_per_iteration": 3},
+            "stopping": {"target_pmi": 0.05, "max_iterations": 1},
+            "policy": ExecutionPolicy(cache=True, checkpoint_every=1).to_dict(),
+        }
+        payload.update(overrides)
+        return payload
+
+    def test_dict_roundtrip_is_exact(self):
+        spec = CampaignSpec.from_dict(self._spec())
+        assert CampaignSpec.from_dict(spec.to_dict()) == spec
+        assert spec.to_dict() == self._spec()
+
+    def test_file_roundtrip(self, tmp_path):
+        spec = CampaignSpec.from_dict(self._spec())
+        path = tmp_path / "campaign.json"
+        spec.to_file(path)
+        assert CampaignSpec.from_file(path) == spec
+
+    def test_toml_spec_loads(self, tmp_path):
+        path = tmp_path / "campaign.toml"
+        path.write_text(
+            '\n'.join(
+                (
+                    'seed = 3',
+                    '[scenario]',
+                    'name = "two-moons"',
+                    '[policy]',
+                    'backend = "batched"',
+                    'cache = true',
+                )
+            )
+        )
+        spec = CampaignSpec.from_file(path)
+        assert spec.seed == 3
+        assert spec.policy.cache is True
+
+    def test_unknown_top_level_keys_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown campaign-spec keys"):
+            CampaignSpec.from_dict(self._spec(extra_section={}))
+
+    def test_unknown_section_keys_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown key"):
+            CampaignSpec.from_dict(self._spec(fuzzer={"queries_per_sseed": 5}))
+        with pytest.raises(ConfigurationError, match="unknown key"):
+            CampaignSpec.from_dict(self._spec(workflow={"budget": 40}))
+
+    def test_legacy_knobs_in_sections_rejected(self):
+        with pytest.raises(ConfigurationError, match="policy"):
+            CampaignSpec.from_dict(self._spec(fuzzer={"num_workers": 2}))
+        with pytest.raises(ConfigurationError, match="policy"):
+            CampaignSpec.from_dict(self._spec(workflow={"cache_dir": "/tmp/x"}))
+        # the deprecated execution alias is rejected too; the non-deprecated
+        # control-flow values stay allowed
+        with pytest.raises(ConfigurationError, match="backend='sharded'"):
+            CampaignSpec.from_dict(self._spec(fuzzer={"execution": "sharded"}))
+        spec = CampaignSpec.from_dict(self._spec(fuzzer={"execution": "sequential"}))
+        assert spec.fuzzer["execution"] == "sequential"
+
+    def test_seed_must_be_an_integer(self):
+        with pytest.raises(ConfigurationError, match="seed"):
+            CampaignSpec.from_dict(self._spec(seed=None))
+        with pytest.raises(ConfigurationError, match="seed"):
+            CampaignSpec.from_dict(self._spec(seed="2021"))
+
+    def test_bad_backend_name_rejected(self):
+        payload = self._spec()
+        payload["policy"]["backend"] = "quantum"
+        with pytest.raises(ConfigurationError, match="unknown execution backend"):
+            CampaignSpec.from_dict(payload)
+
+    def test_scenario_section_requires_name(self):
+        with pytest.raises(ConfigurationError, match="scenario"):
+            CampaignSpec.from_dict(self._spec(scenario={"samples": 10}))
+        with pytest.raises(ConfigurationError, match="scenario"):
+            CampaignSpec.from_dict({"seed": 1})
+
+    def test_campaign_name_defaults_to_scenario(self):
+        spec = CampaignSpec.from_dict(self._spec(name=None))
+        assert spec.campaign_name == "two-moons"
+
+
+# --------------------------------------------------------------------------- #
+# CLI: --spec records verbatim, show renders, --from-run re-launches
+# --------------------------------------------------------------------------- #
+class TestSpecCli:
+    SPEC = {
+        "name": "cli-spec",
+        "seed": 2021,
+        "scenario": {"name": "gaussian-clusters", "samples": 250, "epochs": 4},
+        "fuzzer": {"queries_per_seed": 6},
+        "workflow": {"test_budget_per_iteration": 60, "seeds_per_iteration": 4},
+        "stopping": {"target_pmi": 0.02, "max_iterations": 1},
+        "policy": {"backend": "batched", "cache": True, "checkpoint_every": 1},
+    }
+
+    def test_spec_run_records_verbatim_and_relaunches(self, tmp_path, capsys):
+        from repro.store import RunRegistry
+        from repro.store.cli import main as cli_main
+
+        runs_dir = str(tmp_path / "runs")
+        spec_path = tmp_path / "campaign.json"
+        spec_path.write_text(json.dumps(self.SPEC))
+        base = ["--runs-dir", runs_dir]
+
+        assert cli_main(base + ["run", "--spec", str(spec_path)]) == 0
+        registry = RunRegistry(runs_dir)
+        first = registry.get("run-0001")
+        assert first.status == "completed"
+        # the registry records the on-disk document verbatim, not a
+        # normalised re-serialisation
+        assert first.config["spec"] == json.loads(spec_path.read_text())
+
+        capsys.readouterr()
+        assert cli_main(base + ["show", "run-0001"]) == 0
+        shown = capsys.readouterr().out
+        assert "campaign spec:" in shown
+        assert '"gaussian-clusters"' in shown
+
+        # --from-run re-launches a new campaign from the stored spec and
+        # reproduces it exactly (same seed, same spec => same artifacts)
+        assert cli_main(base + ["run", "--from-run", "run-0001"]) == 0
+        second = registry.get("run-0002")
+        assert second.config["spec"] == first.config["spec"]
+        assert (
+            second.load_estimates()["final"].to_dict()
+            == first.load_estimates()["final"].to_dict()
+        )
+        assert [ae.perturbed.tobytes() for ae in second.load_detections()] == [
+            ae.perturbed.tobytes() for ae in first.load_detections()
+        ]
+
+    def test_malformed_spec_never_creates_a_run(self, tmp_path, capsys):
+        from repro.store import RunRegistry
+        from repro.store.cli import main as cli_main
+
+        runs_dir = str(tmp_path / "runs")
+        bad = dict(self.SPEC, fuzzer={"num_workers": 2})
+        spec_path = tmp_path / "bad.json"
+        spec_path.write_text(json.dumps(bad))
+        assert cli_main(["--runs-dir", runs_dir, "run", "--spec", str(spec_path)]) == 1
+        assert "policy" in capsys.readouterr().err
+        assert RunRegistry(runs_dir).runs() == []
+
+    def test_from_run_requires_stored_spec(self, tmp_path, capsys):
+        from repro.store import RunRegistry
+        from repro.store.cli import main as cli_main
+
+        runs_dir = str(tmp_path / "runs")
+        RunRegistry(runs_dir).create("old-format", {"scenario": "two-moons"})
+        assert cli_main(["--runs-dir", runs_dir, "run", "--from-run", "run-0001"]) == 1
+        assert "spec" in capsys.readouterr().err

@@ -18,6 +18,7 @@ from repro.exceptions import (
 from repro.fuzzing import FuzzerConfig, OperationalFuzzer
 from repro.reliability import ReliabilityEstimate, StoppingRule
 from repro.retraining import RetrainingConfig
+from repro.runtime import ExecutionPolicy
 from repro.store import (
     Checkpointer,
     PersistentQueryCache,
@@ -203,7 +204,7 @@ class TestDiskBackedEngineEquivalence:
             epsilon=0.12,
             queries_per_seed=8,
             naturalness_threshold=0.3,
-            cache_dir=str(tmp_path / "cache"),
+            policy=ExecutionPolicy(cache=True, cache_dir=str(tmp_path / "cache")),
         )
         first_fuzzer = OperationalFuzzer(cluster_naturalness, config=cfg, natural_pool=data.x)
         first = first_fuzzer.fuzz(trained_cluster_model, data.x[:6], data.y[:6], rng=3)
@@ -322,12 +323,14 @@ class TestFuzzerCheckpointResume:
         data = operational_cluster_data
         return data.x[:8], data.y[:8]
 
-    def _config(self, **overrides):
+    def _config(self, policy=None, **overrides):
         base = dict(
             epsilon=0.12,
             queries_per_seed=12,
             naturalness_threshold=0.3,
-            checkpoint_every=1,
+            policy=policy
+            if policy is not None
+            else ExecutionPolicy(cache=True, checkpoint_every=1),
         )
         base.update(overrides)
         return FuzzerConfig(**base)
@@ -419,7 +422,11 @@ class TestFuzzerCheckpointResume:
             seeds,
             labels,
             self._config(),
-            self._config(execution="sharded", num_workers=2),
+            self._config(
+                policy=ExecutionPolicy(
+                    backend="sharded", num_workers=2, cache=True, checkpoint_every=1
+                )
+            ),
         )
         assert _campaign_summary(baseline) == _campaign_summary(resumed)
 
@@ -432,7 +439,10 @@ class TestFuzzerCheckpointResume:
         campaign_inputs,
     ):
         seeds, labels = campaign_inputs
-        cfg = self._config(execution="sequential", checkpoint_every=2)
+        cfg = self._config(
+            execution="sequential",
+            policy=ExecutionPolicy(cache=True, checkpoint_every=2),
+        )
         baseline, resumed, _, _ = self._run_interrupted_then_resume(
             tmp_path,
             trained_cluster_model,
@@ -509,7 +519,7 @@ class TestWorkflowCheckpointResume:
             workflow_config=WorkflowConfig(
                 test_budget_per_iteration=100,
                 seeds_per_iteration=6,
-                checkpoint_every=1,
+                policy=ExecutionPolicy(cache=True, checkpoint_every=1),
                 **workflow_kwargs,
             ),
             rng=21,
