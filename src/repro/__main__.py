@@ -1,8 +1,26 @@
-"""Entry point for ``python -m repro`` (the campaign-store CLI)."""
+"""Entry point for ``python -m repro``.
+
+Two command families share the entry point: the campaign-store CLI
+(``run``/``resume``/``ls``/``show``/``gc``, see :mod:`repro.store.cli`) and
+the static invariant linter (``lint``, see :mod:`repro.analysis.cli`).  The
+``lint`` verb is dispatched before the store parser so the linter owns its
+own argument surface (paths, ``--json``, baseline flags).
+"""
 
 import sys
+from typing import List, Optional
 
-from .store.cli import main
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = list(sys.argv[1:]) if argv is None else list(argv)
+    if args and args[0] == "lint":
+        from .analysis.cli import main as lint_main
+
+        return lint_main(args[1:])
+    from .store.cli import main as store_main
+
+    return store_main(args)
+
 
 if __name__ == "__main__":
     sys.exit(main())

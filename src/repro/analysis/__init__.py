@@ -1,0 +1,61 @@
+"""``repro.analysis`` — AST-based static enforcement of the repo's invariants.
+
+The reproduction's correctness story rests on contracts that are otherwise
+enforced only at runtime or by convention: all model traffic flows through the
+``ExecutionPolicy.build_engine()`` funnel, every stochastic component takes a
+seeded ``Generator``, lock-guarded state is never touched lock-free, and
+``to_dict``/``from_dict`` pairs round-trip exactly.  This package turns those
+tribal rules into a static guardrail:
+
+* a :class:`~repro.analysis.walker.Rule` protocol + registry with a
+  single-parse, single-walk dispatcher (:func:`analyze_paths`);
+* structured :class:`~repro.analysis.findings.Finding` records with text and
+  JSON reporters;
+* inline suppression pragmas (``# repro: allow[rule-id]``) for intentional,
+  justified exceptions;
+* a committed :class:`~repro.analysis.baseline.Baseline` so pre-existing debt
+  is tracked without blocking CI.
+
+Run it as ``python -m repro lint`` (see :mod:`repro.analysis.cli`); a
+dedicated CI job fails on any non-baselined finding.  The package's own
+modules are stdlib-only by design, so the analyzer can never be broken by the
+scientific stack it lints (the ``python -m repro`` entry point still imports
+the package root, which is where numpy comes in).
+"""
+
+from .baseline import DEFAULT_BASELINE, Baseline
+from .cli import main
+from .findings import SEVERITIES, Finding, sort_findings
+from .pragmas import collect_pragmas, is_suppressed
+from .report import render_json, render_text
+from .walker import (
+    LintResult,
+    ModuleContext,
+    Rule,
+    analyze_paths,
+    analyze_source,
+    default_rules,
+    register_rule,
+    registered_rules,
+)
+
+__all__ = [
+    "Baseline",
+    "DEFAULT_BASELINE",
+    "Finding",
+    "LintResult",
+    "ModuleContext",
+    "Rule",
+    "SEVERITIES",
+    "analyze_paths",
+    "analyze_source",
+    "collect_pragmas",
+    "default_rules",
+    "is_suppressed",
+    "main",
+    "register_rule",
+    "registered_rules",
+    "render_json",
+    "render_text",
+    "sort_findings",
+]

@@ -1,0 +1,84 @@
+"""Committed lint baseline: pre-existing debt tracked without blocking CI.
+
+The baseline file records findings that were present when the linter (or a
+new rule) landed.  CI fails only on findings *not* in the baseline, so a new
+rule can ship with the debt it uncovers tracked in review rather than fixed
+in the same commit — and ``--update-baseline`` re-snapshots after a cleanup
+so the ratchet only ever tightens.
+
+Matching uses :meth:`Finding.key` (rule, path, message): moving code shifts
+line numbers without un-baselining anything, while changing *what* is wrong
+produces a new finding, as it should.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, List, Set, Tuple, Union
+
+from ..exceptions import ConfigurationError
+from .findings import Finding, sort_findings
+
+BASELINE_VERSION = 1
+
+#: Default baseline location (repo root, next to the CI config that uses it).
+DEFAULT_BASELINE = "lint-baseline.json"
+
+
+class Baseline:
+    """An accepted set of findings loaded from (or destined for) disk."""
+
+    def __init__(self, findings: Iterable[Finding] = ()) -> None:
+        self.findings: List[Finding] = sort_findings(findings)
+        self._keys: Set[Tuple[str, str, str]] = {f.key() for f in self.findings}
+
+    def __len__(self) -> int:
+        return len(self._keys)
+
+    def is_known(self, finding: Finding) -> bool:
+        """Whether ``finding`` is accepted debt."""
+        return finding.key() in self._keys
+
+    def stale_entries(self, current: Iterable[Finding]) -> List[Finding]:
+        """Baseline entries no longer present in ``current`` (fixed debt).
+
+        Stale entries never fail a run — they are surfaced so the next
+        ``--update-baseline`` commit can shrink the file.
+        """
+        live = {finding.key() for finding in current}
+        return [entry for entry in self.findings if entry.key() not in live]
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "Baseline":
+        """Load a baseline; a missing file is an empty baseline."""
+        source = Path(path)
+        if not source.exists():
+            return cls()
+        try:
+            data = json.loads(source.read_text(encoding="utf-8"))
+        except json.JSONDecodeError as exc:
+            raise ConfigurationError(f"could not parse baseline {source}: {exc}") from exc
+        if not isinstance(data, dict) or "findings" not in data:
+            raise ConfigurationError(
+                f"baseline {source} must be a mapping with a 'findings' list"
+            )
+        if data.get("version") != BASELINE_VERSION:
+            raise ConfigurationError(
+                f"baseline {source} has version {data.get('version')!r}; "
+                f"this analyzer writes version {BASELINE_VERSION}"
+            )
+        return cls(Finding.from_dict(entry) for entry in data["findings"])
+
+    def write(self, path: Union[str, Path]) -> None:
+        """Write the baseline as sorted, review-diffable JSON."""
+        target = Path(path)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "version": BASELINE_VERSION,
+            "findings": [finding.to_dict() for finding in self.findings],
+        }
+        target.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+
+__all__ = ["BASELINE_VERSION", "DEFAULT_BASELINE", "Baseline"]

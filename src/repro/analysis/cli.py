@@ -1,0 +1,121 @@
+"""``python -m repro lint`` — statically enforce the invariant contracts.
+
+Exit codes: ``0`` when every finding is baselined or pragma-justified,
+``1`` when new findings exist (this is what gates CI), ``2`` on usage errors.
+
+Typical workflows::
+
+    python -m repro lint                      # lint src/repro vs the baseline
+    python -m repro lint src/repro --json     # CI: machine-readable findings
+    python -m repro lint --update-baseline    # accept current findings as debt
+    python -m repro lint path/to/file.py --no-baseline   # absolute truth
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from ..exceptions import ConfigurationError
+from .baseline import DEFAULT_BASELINE, Baseline
+from .report import render_json, render_text
+from .walker import analyze_paths, default_rules
+
+#: Default lint target when no paths are given.
+DEFAULT_TARGET = "src/repro"
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro lint",
+        description="AST-based invariant linter for the repro codebase "
+        "(engine-funnel, RNG, lock and serialization contracts).",
+        epilog="Suppress one finding in code with `# repro: allow[rule-id]` "
+        "plus a short justification.",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=None,
+        help=f"files or directories to lint (default: {DEFAULT_TARGET})",
+    )
+    parser.add_argument(
+        "--json", action="store_true", help="emit the JSON report on stdout"
+    )
+    parser.add_argument(
+        "--baseline",
+        default=DEFAULT_BASELINE,
+        metavar="PATH",
+        help=f"baseline file of accepted findings (default: {DEFAULT_BASELINE})",
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore the baseline: every finding is reported as new",
+    )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="accept the current findings: rewrite the baseline and exit 0",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="print the rule table and exit"
+    )
+    return parser
+
+
+def _list_rules() -> int:
+    for rule in default_rules():
+        print(f"{rule.rule_id}  {rule.name:<18} {rule.description}")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    if args.list_rules:
+        return _list_rules()
+    if args.no_baseline and args.update_baseline:
+        parser.error("--no-baseline and --update-baseline are mutually exclusive")
+
+    paths = args.paths if args.paths else [DEFAULT_TARGET]
+    try:
+        result = analyze_paths(paths)
+    except ConfigurationError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.update_baseline:
+        Baseline(result.findings).write(args.baseline)
+        print(
+            f"baseline {args.baseline} updated with "
+            f"{len(result.findings)} finding(s) over {result.files_scanned} file(s)"
+        )
+        return 0
+
+    baseline = Baseline() if args.no_baseline else _load_baseline(args.baseline)
+    if baseline is None:
+        return 2
+    new = [finding for finding in result.findings if not baseline.is_known(finding)]
+    baselined = [finding for finding in result.findings if baseline.is_known(finding)]
+    stale = baseline.stale_entries(result.findings)
+
+    if args.json:
+        print(json.dumps(render_json(result, new, baselined, stale), indent=2))
+    else:
+        print(render_text(result, new, baselined, stale))
+    return 1 if new else 0
+
+
+def _load_baseline(path: str) -> Optional[Baseline]:
+    try:
+        return Baseline.load(Path(path))
+    except ConfigurationError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return None
+
+
+__all__ = ["main", "DEFAULT_TARGET"]

@@ -1,0 +1,105 @@
+"""Structured findings emitted by the static-analysis rules.
+
+A :class:`Finding` is one rule violation at one source location.  Findings are
+plain serializable records so the text reporter, the JSON reporter and the
+committed baseline file all speak the same format — and so the baseline can be
+diffed in code review like any other artifact.
+
+Baseline identity deliberately excludes the line/column: code above a finding
+moves it without changing what it *is*, so two findings are "the same debt"
+when rule, file and message agree (:meth:`Finding.key`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Tuple
+
+from ..exceptions import ConfigurationError
+
+#: Finding severities, most severe first.  ``error`` findings gate CI;
+#: ``warning`` findings are reported but never fail the lint run.
+SEVERITIES = ("error", "warning")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location.
+
+    Attributes
+    ----------
+    rule:
+        Rule identifier (``"REP001"``).
+    name:
+        Human-readable rule slug (``"engine-funnel"``) — also accepted by
+        suppression pragmas.
+    severity:
+        ``"error"`` or ``"warning"``.
+    path:
+        File the finding is in (POSIX-style, as handed to the analyzer).
+    line, col:
+        1-based line and 0-based column of the offending node.
+    message:
+        What is wrong, specific to this site.
+    hint:
+        How to fix it (or how to justify it with a pragma).
+    """
+
+    rule: str
+    name: str
+    severity: str
+    path: str
+    line: int
+    col: int
+    message: str
+    hint: str = ""
+
+    def __post_init__(self) -> None:
+        if self.severity not in SEVERITIES:
+            raise ConfigurationError(
+                f"finding severity must be one of {SEVERITIES}, got {self.severity!r}"
+            )
+
+    def key(self) -> Tuple[str, str, str]:
+        """Baseline identity: line numbers drift, (rule, path, message) pin."""
+        return (self.rule, self.path, self.message)
+
+    def format(self) -> str:
+        """One text-reporter line for this finding."""
+        text = f"{self.path}:{self.line}:{self.col}: {self.rule}[{self.name}] {self.message}"
+        if self.hint:
+            text += f" (hint: {self.hint})"
+        return text
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-safe snapshot (exact :meth:`from_dict` round-trip)."""
+        return {
+            "rule": self.rule,
+            "name": self.name,
+            "severity": self.severity,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "hint": self.hint,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "Finding":
+        """Rebuild a finding from :meth:`to_dict` output, rejecting unknown keys."""
+        known = set(cls.__dataclass_fields__)
+        unknown = set(data) - known
+        if unknown:
+            raise ConfigurationError(
+                f"unknown Finding fields: {sorted(unknown)}; "
+                f"expected a subset of {sorted(known)}"
+            )
+        return cls(**dict(data))
+
+
+def sort_findings(findings) -> list:
+    """Deterministic reporting order: path, then line/column, then rule."""
+    return sorted(findings, key=lambda f: (f.path, f.line, f.col, f.rule))
+
+
+__all__ = ["SEVERITIES", "Finding", "sort_findings"]

@@ -1,0 +1,67 @@
+"""Text and JSON reporters over a lint run.
+
+Both reporters see the same split of findings — ``new`` (not baselined: these
+fail the run) and ``baselined`` (accepted debt) — so the CI artifact and the
+terminal output can never disagree about what gated the build.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from .findings import Finding
+from .walker import LintResult
+
+#: Schema version of the JSON report (the CI artifact format).
+REPORT_VERSION = 1
+
+
+def render_text(
+    result: LintResult,
+    new: Sequence[Finding],
+    baselined: Sequence[Finding],
+    stale: Sequence[Finding] = (),
+) -> str:
+    """Human-oriented report: one line per new finding, then a summary."""
+    lines: List[str] = [finding.format() for finding in new]
+    if baselined:
+        lines.append(f"({len(baselined)} baselined finding(s) not shown — tracked debt)")
+    if stale:
+        lines.append(
+            f"({len(stale)} stale baseline entrie(s) — fixed debt; "
+            "run --update-baseline to shrink the file)"
+        )
+    lines.append(
+        f"{result.files_scanned} file(s) scanned: "
+        f"{len(new)} new, {len(baselined)} baselined, "
+        f"{result.suppressed} pragma-suppressed"
+    )
+    return "\n".join(lines)
+
+
+def render_json(
+    result: LintResult,
+    new: Sequence[Finding],
+    baselined: Sequence[Finding],
+    stale: Sequence[Finding] = (),
+) -> Dict[str, object]:
+    """Machine-oriented report (uploaded as the CI findings artifact)."""
+    def rows(findings: Sequence[Finding], status: str) -> List[Dict[str, object]]:
+        return [dict(finding.to_dict(), status=status) for finding in findings]
+
+    return {
+        "version": REPORT_VERSION,
+        "findings": rows(new, "new") + rows(baselined, "baselined"),
+        "stale_baseline": rows(stale, "stale"),
+        "summary": {
+            "files_scanned": result.files_scanned,
+            "total": len(new) + len(baselined),
+            "new": len(new),
+            "baselined": len(baselined),
+            "suppressed": result.suppressed,
+            "by_rule": result.by_rule(),
+        },
+    }
+
+
+__all__ = ["REPORT_VERSION", "render_text", "render_json"]

@@ -1,0 +1,35 @@
+"""The repo-specific invariant rules.
+
+Importing this package registers every built-in rule with the walker's
+registry.  Each rule guards one contract the reproduction's correctness story
+depends on:
+
+========  ================  ====================================================
+id        slug              contract
+========  ================  ====================================================
+REP001    engine-funnel     all model traffic flows through
+                            ``ExecutionPolicy.build_engine()`` → ``ModelBackend``
+REP002    rng-discipline    no global-state NumPy RNG; every stochastic call
+                            takes a seeded ``Generator``
+REP003    legacy-knob       no internal use of the PR-5-deprecated execution
+                            knobs (``engine=``/``num_workers=``/…)
+REP004    lock-discipline   attributes mutated under a ``self._lock`` block are
+                            never touched lock-free elsewhere in the class
+REP005    dict-round-trip   ``to_dict``/``from_dict`` pairs agree on their key
+                            set (serialization cannot drift silently)
+========  ================  ====================================================
+"""
+
+from .funnel import EngineFunnelRule
+from .knobs import LegacyKnobRule
+from .locks import LockDisciplineRule
+from .rng import RngDisciplineRule
+from .roundtrip import DictRoundTripRule
+
+__all__ = [
+    "EngineFunnelRule",
+    "RngDisciplineRule",
+    "LegacyKnobRule",
+    "LockDisciplineRule",
+    "DictRoundTripRule",
+]

@@ -1,0 +1,63 @@
+"""Small AST helpers shared by the invariant rules (stdlib only)."""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Optional
+
+
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """Dotted receiver name of an attribute chain, or ``None`` if dynamic.
+
+    ``self.model`` -> ``"self.model"``; ``np.random.seed`` ->
+    ``"np.random.seed"``; anything rooted at a call/subscript (``f().x``)
+    is dynamic and returns ``None``.
+    """
+    parts: List[str] = []
+    cursor = node
+    while isinstance(cursor, ast.Attribute):
+        parts.append(cursor.attr)
+        cursor = cursor.value
+    if isinstance(cursor, ast.Name):
+        parts.append(cursor.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def callee_basename(call: ast.Call) -> Optional[str]:
+    """Terminal name of a call target: ``a.b.F(...)`` and ``F(...)`` -> ``"F"``."""
+    func = call.func
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    if isinstance(func, ast.Name):
+        return func.id
+    return None
+
+
+def class_field_names(class_node: ast.ClassDef) -> List[str]:
+    """Names annotated at class-body level (the dataclass field declarations).
+
+    ``ClassVar``-annotated names are skipped, mirroring what
+    :func:`dataclasses.fields` would report.
+    """
+    names: List[str] = []
+    for statement in class_node.body:
+        if not isinstance(statement, ast.AnnAssign):
+            continue
+        if not isinstance(statement.target, ast.Name):
+            continue
+        annotation = ast.unparse(statement.annotation)
+        if "ClassVar" in annotation:
+            continue
+        names.append(statement.target.id)
+    return names
+
+
+def string_constant(node: ast.AST) -> Optional[str]:
+    """The value of a string literal node, else ``None``."""
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value
+    return None
+
+
+__all__ = ["dotted_name", "callee_basename", "class_field_names", "string_constant"]

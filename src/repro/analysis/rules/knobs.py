@@ -1,0 +1,82 @@
+"""REP003 — no internal use of the PR-5-deprecated execution knobs.
+
+PR 5 collapsed the per-subsystem execution knobs (``engine=``,
+``num_workers=``, ``use_query_cache=``, ``cache_dir=``, ``checkpoint_every=``)
+into one ``policy=ExecutionPolicy(...)`` parameter, keeping the old knobs as
+deprecation shims.  The pytest ``filterwarnings`` gate errors when an internal
+caller *exercises* a shim — but only on paths a test actually runs.  This rule
+closes the gap statically: any call that passes a legacy knob to one of the
+known shim owners is flagged, dead branches included.
+
+The knobs are only illegal *as legacy shims*: ``ExecutionPolicy(num_workers=4)``
+or ``ShardedQueryEngine(num_workers=2)`` are the real, non-deprecated surface
+and stay untouched — which is why the rule matches (owner, knob) pairs instead
+of bare keyword names.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from ..walker import ModuleContext, Rule, register_rule
+from .common import callee_basename
+
+#: The deprecated keyword names (PR-5 list) and the policy field replacing each.
+LEGACY_KNOBS = {
+    "engine": "backend",
+    "num_workers": "num_workers",
+    "use_query_cache": "cache",
+    "cache_dir": "cache_dir",
+    "checkpoint_every": "checkpoint_every",
+}
+
+#: Callables that still accept the knobs as deprecation shims.  Matching is by
+#: terminal name (``FuzzerConfig(...)``, ``scenario.query_engine(...)``).
+SHIM_OWNERS = frozenset(
+    {
+        "FuzzerConfig",
+        "WorkflowConfig",
+        "OperationalFuzzer",
+        "OperationalTestingLoop",
+        "ReliabilityAssessor",
+        "CellRobustnessEvaluator",
+        "RandomFuzz",
+        "GaussianNoise",
+        "BoundaryNudge",
+        "query_engine",
+        "build_query_engine",
+        "query_engine_session",
+    }
+)
+
+
+@register_rule
+class LegacyKnobRule(Rule):
+    rule_id = "REP003"
+    name = "legacy-knob"
+    severity = "error"
+    description = (
+        "internal call passes a deprecated execution knob to a shim owner "
+        "instead of policy=ExecutionPolicy(...)"
+    )
+
+    def applies_to(self, path: str) -> bool:
+        # the shims themselves (and their fold-in helper) live in runtime/
+        return "repro/runtime/" not in path
+
+    def visit_Call(self, node: ast.Call, ctx: ModuleContext) -> None:
+        owner = callee_basename(node)
+        if owner not in SHIM_OWNERS:
+            return
+        for keyword in node.keywords:
+            if keyword.arg in LEGACY_KNOBS:
+                ctx.report(
+                    self,
+                    node,
+                    f"{owner}({keyword.arg}=...) exercises a deprecated "
+                    "execution knob (legacy shim) from inside repro.*",
+                    hint=f"pass policy=ExecutionPolicy({LEGACY_KNOBS[keyword.arg]}=...) instead",
+                )
+
+
+__all__ = ["LegacyKnobRule"]

@@ -31,9 +31,12 @@ class FGSM(Attack):
         rng: RngLike = None,
     ) -> AttackResult:
         x, y = self._validate_batch(x, y)
-        gradient = model.loss_input_gradient(x, y)
+        # whitebox by design: attacks receive the classifier the caller chose
+        # (the fuzzer installs its engine as `model`), and must see raw
+        # gradients — wrapping here would double-count queries
+        gradient = model.loss_input_gradient(x, y)  # repro: allow[engine-funnel]
         candidates = self._project(x + self.epsilon * np.sign(gradient), x)
-        predictions = model.predict(candidates)
+        predictions = model.predict(candidates)  # repro: allow[engine-funnel]
         success = predictions != y
         n = len(x)
         # one gradient evaluation + one prediction per seed
@@ -103,7 +106,8 @@ class PGD(Attack):
             candidates = x.copy()
 
         best = candidates.copy()
-        best_pred = model.predict(candidates)
+        # whitebox by design: see FGSM.run — same justification for all three
+        best_pred = model.predict(candidates)  # repro: allow[engine-funnel]
         queries_per_seed += 1
         best_success = best_pred != y
         active = ~best_success if self.early_stop else np.ones(n, dtype=bool)
@@ -112,10 +116,10 @@ class PGD(Attack):
             if not np.any(active):
                 break
             idx = np.flatnonzero(active)
-            gradient = model.loss_input_gradient(candidates[idx], y[idx])
+            gradient = model.loss_input_gradient(candidates[idx], y[idx])  # repro: allow[engine-funnel]
             stepped = candidates[idx] + self.step_size * np.sign(gradient)
             candidates[idx] = self._project(stepped, x[idx])
-            predictions = model.predict(candidates[idx])
+            predictions = model.predict(candidates[idx])  # repro: allow[engine-funnel]
             queries_per_seed[idx] += 2  # one gradient + one prediction
             newly_success = predictions != y[idx]
             best[idx] = candidates[idx]

@@ -37,7 +37,9 @@ def ensure_rng(rng: RngLike = None) -> np.random.Generator:
         existing :class:`numpy.random.Generator` which is returned unchanged.
     """
     if rng is None:
-        return np.random.default_rng()
+        # the one documented opt-in to nondeterminism: callers who pass None
+        # explicitly ask for an unseeded generator (see docstring above)
+        return np.random.default_rng()  # repro: allow[rng-discipline]
     if isinstance(rng, np.random.Generator):
         return rng
     if isinstance(rng, (int, np.integer)):

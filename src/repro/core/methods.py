@@ -35,6 +35,7 @@ from ..exceptions import ConfigurationError
 from ..fuzzing.fuzzer import FuzzerConfig, OperationalFuzzer
 from ..naturalness.metrics import NaturalnessScorer
 from ..op.profile import OperationalProfile
+from ..runtime.policy import ExecutionPolicy
 from ..sampling.samplers import OperationalSeedSampler, SeedSampler, UniformSeedSampler
 from ..types import AdversarialExample, Classifier, DetectionResult
 
@@ -255,10 +256,15 @@ class OperationalTestingBaseline(DetectionMethod):
     model would actually receive.  Failures found this way are maximally
     operational but the method is known to be a very inefficient bug detector,
     which is the other side of the trade-off the paper wants to optimise.
+
+    Model queries go through the ``policy`` funnel (default in-process policy
+    when ``None``), so the budget actually spent is visible in ``QueryStats``
+    and an already-built engine passes through unchanged.
     """
 
     profile: OperationalProfile
     naturalness: Optional[NaturalnessScorer] = None
+    policy: Optional[ExecutionPolicy] = None
     name: str = "operational-testing"
 
     def detect(
@@ -271,8 +277,10 @@ class OperationalTestingBaseline(DetectionMethod):
         self._check_budget(budget)
         generator = ensure_rng(rng)
         size = min(budget, len(operational_data))
-        selection = UniformSeedSampler().select(operational_data, model, size, rng=generator)
-        predictions = model.predict(selection.x)
+        policy = self.policy if self.policy is not None else ExecutionPolicy()
+        with policy.session(model) as engine:
+            selection = UniformSeedSampler().select(operational_data, engine, size, rng=generator)
+            predictions = engine.predict(selection.x)
         densities = _normalised_density(self.profile, selection.x, operational_data.x)
         adversarial: List[AdversarialExample] = []
         failures = np.flatnonzero(predictions != selection.y)

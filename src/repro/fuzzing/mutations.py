@@ -186,7 +186,9 @@ class GradientMutation(MutationOperator):
         self.step_fraction = step_fraction
 
     def propose(self, context: MutationContext) -> np.ndarray:
-        gradient = context.model.loss_input_gradient(
+        # context.model IS the fuzzer's engine (OperationalFuzzer installs it
+        # in the MutationContext), so this call is already funnelled
+        gradient = context.model.loss_input_gradient(  # repro: allow[engine-funnel]
             context.current[None, :], np.asarray([context.label])
         )[0]
         step = context.epsilon * self.step_fraction
@@ -197,7 +199,8 @@ class GradientMutation(MutationOperator):
         # one physical gradient call for the whole population; the batch-mean
         # scaling of the gradient is irrelevant under np.sign, so each row is
         # the same step the sequential single-row call would have taken
-        gradient = context.model.loss_input_gradient(context.currents, context.labels)
+        # (context.model is the fuzzer's engine — already funnelled)
+        gradient = context.model.loss_input_gradient(context.currents, context.labels)  # repro: allow[engine-funnel]
         step = context.epsilon * self.step_fraction
         candidates = context.currents + step * np.sign(gradient)
         return self._project(candidates, context.seeds, context.epsilon)

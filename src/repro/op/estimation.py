@@ -20,7 +20,7 @@ rest of the pipeline is agnostic to how the OP was obtained.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 import numpy as np
 
@@ -28,6 +28,10 @@ from ..config import EPSILON, RngLike, ensure_rng
 from ..data.dataset import Dataset
 from ..exceptions import ConvergenceError, DataError, ProfileError
 from ..types import Classifier
+
+if TYPE_CHECKING:  # pragma: no cover - annotations only (import cycle:
+    # runtime.policy reaches this module via engine → naturalness → op)
+    from ..runtime.policy import ExecutionPolicy
 from .profile import EmpiricalProfile, GaussianMixtureProfile, OperationalProfile
 
 
@@ -50,6 +54,12 @@ class FrequencyProfileEstimator(ProfileEstimator):
         conditional distribution (typically the existing training/test data).
     model:
         Optional classifier used to pseudo-label unlabeled operational inputs.
+        Queried through the ``policy`` funnel, so pseudo-labelling is batched,
+        cache-aware and visible in the campaign's ``QueryStats``.
+    policy:
+        Execution policy used to build the query engine over ``model``; the
+        default in-process policy is used when ``None``.  A ``model`` that is
+        already an engine passes through unchanged.
     smoothing:
         Additive (Laplace) smoothing applied to the class counts, so classes
         unseen in the operational sample keep a small positive probability.
@@ -59,6 +69,7 @@ class FrequencyProfileEstimator(ProfileEstimator):
 
     reference: Dataset
     model: Optional[Classifier] = None
+    policy: Optional["ExecutionPolicy"] = None
     smoothing: float = 1.0
     resample_noise: float = 0.01
 
@@ -73,7 +84,11 @@ class FrequencyProfileEstimator(ProfileEstimator):
                 raise ProfileError(
                     "FrequencyProfileEstimator needs labels or a model for pseudo-labels"
                 )
-            labels = np.asarray(self.model.predict(x), dtype=int)
+            from ..runtime.policy import ExecutionPolicy
+
+            policy = self.policy if self.policy is not None else ExecutionPolicy()
+            with policy.session(self.model) as engine:
+                labels = np.asarray(engine.predict(x), dtype=int)
         else:
             labels = np.asarray(labels, dtype=int)
             if labels.shape != (len(x),):

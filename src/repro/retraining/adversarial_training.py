@@ -130,7 +130,9 @@ class OperationalRetrainer:
             ),
             rng=self._rng,
         )
-        trainer.fit(model, x, y, sample_weight=weights)
+        # retraining owns the network's parameters — whitebox by definition,
+        # and trainer queries are not part of the detection budget
+        trainer.fit(model, x, y, sample_weight=weights)  # repro: allow[engine-funnel]
         return model
 
     # ------------------------------------------------------------------ #

@@ -21,6 +21,7 @@ from ..data.dataset import Dataset
 from ..data.partition import Partition
 from ..exceptions import SamplingError
 from ..op.profile import OperationalProfile
+from ..runtime.policy import ExecutionPolicy
 from ..types import Classifier
 from .weights import WeightFunction, margin_weight
 
@@ -76,6 +77,17 @@ class SeedSampler:
             raise SamplingError(f"num_seeds must be positive, got {num_seeds}")
         if len(dataset) == 0:
             raise SamplingError("cannot sample seeds from an empty dataset")
+
+    def _funnel(self, model: Classifier):
+        """Session over ``model`` via the sampler's execution policy.
+
+        Weight functions are leaf callables: they receive whatever classifier
+        the sampler hands them.  Funnelling here means every auxiliary-weight
+        query is batched, cache-aware and counted in ``QueryStats``; a
+        ``model`` that is already an engine passes through unchanged.
+        """
+        policy = getattr(self, "policy", None) or ExecutionPolicy()
+        return policy.session(model)
 
     @staticmethod
     def _draw(
@@ -146,10 +158,14 @@ class OperationalSeedSampler(SeedSampler):
     use_labels:
         Whether the auxiliary weight may peek at the true labels of the
         operational dataset.
+    policy:
+        Execution policy used to funnel the model before the weight function
+        queries it (default in-process policy when ``None``).
     """
 
     profile: Optional[OperationalProfile] = None
     weight_function: WeightFunction = margin_weight
+    policy: Optional[ExecutionPolicy] = None
     op_exponent: float = 1.0
     failure_exponent: float = 2.0
     failure_floor: float = 0.02
@@ -180,7 +196,8 @@ class OperationalSeedSampler(SeedSampler):
 
         if self.failure_exponent > 0:
             labels = dataset.y if self.use_labels else None
-            failure = self.weight_function(model, dataset.x, labels)
+            with self._funnel(model) as engine:
+                failure = self.weight_function(engine, dataset.x, labels)
             failure = self.failure_floor + (1.0 - self.failure_floor) * failure
         else:
             failure = np.ones(len(dataset))
@@ -216,6 +233,7 @@ class CellStratifiedSeedSampler(SeedSampler):
     partition: Partition = None
     profile: OperationalProfile = None
     weight_function: WeightFunction = margin_weight
+    policy: Optional[ExecutionPolicy] = None
     use_labels: bool = True
     min_per_cell: int = 0
     name: str = "cell-stratified"
@@ -258,7 +276,8 @@ class CellStratifiedSeedSampler(SeedSampler):
             allocation[positive[int(np.argmin(occupied_mass[positive]))]] -= 1
 
         labels = dataset.y if self.use_labels else None
-        failure = self.weight_function(model, dataset.x, labels)
+        with self._funnel(model) as engine:
+            failure = self.weight_function(engine, dataset.x, labels)
         selected: List[int] = []
         for cell, count in zip(occupied_cells, allocation):
             if count <= 0:

@@ -41,6 +41,8 @@ def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Run and query operational-testing campaigns.",
+        epilog="The static invariant linter lives under its own verb: "
+        "`python -m repro lint --help` (see repro.analysis).",
     )
     parser.add_argument(
         "--runs-dir",
