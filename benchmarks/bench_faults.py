@@ -1,0 +1,174 @@
+"""Chaos benchmark: what supervised fault tolerance costs, and what it saves.
+
+Runs one fixed-seed fuzzing campaign on the sharded two-worker backend three
+ways — clean, with one worker repeatedly SIGKILLed mid-campaign, and with
+every worker killed at first contact (forcing degradation to in-process
+execution) — and records wall time, the fault counters
+(``shard_retries``/``worker_respawns``/``degraded_shards``) and whether each
+faulted campaign reproduced the clean one bit-identically (it must: that is
+the supervision contract, and the validator refuses the snapshot otherwise).
+
+The headline number is ``overhead_ratio_killed``: the wall-time cost of
+losing (and respawning) a worker relative to the clean supervised run.  The
+section is embedded in ``BENCH_fuzzer.json`` by
+``benchmarks/bench_fuzzer_snapshot.py``; standalone use::
+
+    PYTHONPATH=src python benchmarks/bench_faults.py [output.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+from pathlib import Path
+
+from repro.evaluation import make_clusters_scenario
+from repro.faults import FaultPlan, RetryPolicy
+from repro.fuzzing import FuzzerConfig, OperationalFuzzer
+from repro.runtime import ExecutionPolicy
+
+SEED = 2021
+#: Bigger than the fuzzer section's campaign on purpose: a worker respawn is
+#: a fixed ~50ms cost (pool spawn + replica unpickle), so the overhead ratio
+#: only reads as steady-state supervision cost once the campaign is long
+#: enough to amortise it.
+NUM_SEEDS = 48
+BUDGET = 3600
+QUERIES_PER_SEED = 60
+NUM_WORKERS = 2
+#: Small enough that every population dispatch spans several shards, so both
+#: worker slots receive work and the injected kills actually fire.
+BATCH_SIZE = 16
+
+#: Zero backoff keeps the wall-time rows about supervision, not sleeping.
+_RETRY = RetryPolicy(backoff_base_s=0.0)
+_NO_RETRY = RetryPolicy(max_attempts=1, max_respawns=0, backoff_base_s=0.0)
+
+#: Worker 1 dies (a real SIGKILL) every time it has serviced two shards —
+#: respawned slots get a fresh countdown, so the fault recurs all campaign.
+_KILL_ONE = FaultPlan(kills=((1, 2),))
+#: Every slot dies at first contact; with no respawn budget the engine must
+#: degrade to in-process execution.
+_KILL_ALL = FaultPlan(kills=tuple((worker, 0) for worker in range(NUM_WORKERS)))
+
+
+def _campaign(scenario, retry=None, faults=None) -> dict:
+    config = FuzzerConfig(
+        epsilon=0.12,
+        queries_per_seed=QUERIES_PER_SEED,
+        naturalness_threshold=0.3,
+        execution="population",
+        policy=ExecutionPolicy(
+            backend="sharded",
+            num_workers=NUM_WORKERS,
+            batch_size=BATCH_SIZE,
+            cache=True,
+            retry=retry,
+            faults=faults,
+        ),
+    )
+    fuzzer = OperationalFuzzer(
+        naturalness=scenario.naturalness,
+        config=config,
+        natural_pool=scenario.operational_data.x,
+    )
+    seeds = scenario.operational_data.x[:NUM_SEEDS]
+    labels = scenario.operational_data.y[:NUM_SEEDS]
+    start = time.perf_counter()
+    campaign = fuzzer.fuzz(scenario.model, seeds, labels, budget=BUDGET, rng=SEED)
+    elapsed = time.perf_counter() - start
+    stats = fuzzer.last_query_stats
+    return {
+        "wall_time_s": round(elapsed, 4),
+        "queries": campaign.total_queries,
+        "aes_found": len(campaign.adversarial_examples),
+        "shard_retries": stats.shard_retries,
+        "worker_respawns": stats.worker_respawns,
+        "degraded_shards": stats.degraded_shards,
+        "per_seed_queries": [r.queries for r in campaign.per_seed],
+    }
+
+
+def _identical(reference: dict, candidate: dict) -> bool:
+    return (
+        candidate["queries"] == reference["queries"]
+        and candidate["aes_found"] == reference["aes_found"]
+        and candidate["per_seed_queries"] == reference["per_seed_queries"]
+    )
+
+
+def faults_section() -> dict:
+    """The ``faults`` section of ``BENCH_fuzzer.json``."""
+    scenario = make_clusters_scenario(rng=SEED)
+    clean = _campaign(scenario, retry=_RETRY)
+    killed = _campaign(scenario, retry=_RETRY, faults=_KILL_ONE)
+    degraded = _campaign(scenario, retry=_NO_RETRY, faults=_KILL_ALL)
+    rows = {"clean": clean, "killed_worker": killed, "degraded": degraded}
+    section = {
+        "config": {
+            "seed": SEED,
+            "num_seeds": NUM_SEEDS,
+            "budget": BUDGET,
+            "queries_per_seed": QUERIES_PER_SEED,
+            "num_workers": NUM_WORKERS,
+            "batch_size": BATCH_SIZE,
+            "kill_plan": _KILL_ONE.to_dict(),
+            "retry": _RETRY.to_dict(),
+        },
+        "note": (
+            "faulted campaigns must reproduce the clean run bit-identically "
+            "(same queries, same detections); only wall time and the fault "
+            "counters may differ"
+        ),
+    }
+    for name, row in rows.items():
+        row = dict(row)
+        row["identical_to_clean"] = _identical(clean, row)
+        row.pop("per_seed_queries")
+        section[name] = row
+    reference = max(clean["wall_time_s"], 1e-9)
+    section["overhead_ratio_killed"] = round(
+        killed["wall_time_s"] / reference, 2
+    )
+    section["overhead_ratio_degraded"] = round(
+        degraded["wall_time_s"] / reference, 2
+    )
+    return section
+
+
+def validate_faults_section(section: dict) -> None:
+    """Refuse a snapshot whose faulted campaigns diverged or saw no faults."""
+    for name in ("clean", "killed_worker", "degraded"):
+        if not section[name]["identical_to_clean"]:
+            raise AssertionError(
+                f"faulted campaign {name!r} diverged from the clean run"
+            )
+    if section["killed_worker"]["worker_respawns"] < 1:
+        raise AssertionError(
+            "the killed-worker campaign never respawned a worker: the "
+            "injected kills did not fire"
+        )
+    if section["degraded"]["degraded_shards"] < 1:
+        raise AssertionError(
+            "the kill-all campaign never degraded: the injected kills did "
+            "not fire"
+        )
+
+
+def main(output: str | None = None) -> dict:
+    section = faults_section()
+    validate_faults_section(section)
+    text = json.dumps(section, indent=2)
+    print(text)
+    if output:
+        Path(output).write_text(text + "\n")
+        print(f"\nwrote {Path(output).resolve()}")
+    return section
+
+
+if __name__ == "__main__":
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("output", nargs="?", default=None)
+    args = parser.parse_args()
+    main(args.output)

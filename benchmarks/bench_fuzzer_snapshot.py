@@ -24,10 +24,17 @@ from __future__ import annotations
 import argparse
 import json
 import os
+import sys
 import time
 from pathlib import Path
 
 import numpy as np
+
+# the snapshot is both executed directly and loaded via runpy (CI validates
+# the committed file that way), and only the former puts benchmarks/ on the
+# module search path
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+from bench_faults import faults_section, validate_faults_section  # noqa: E402
 
 from repro.attacks import BoundaryNudge, GaussianNoise, RandomFuzz
 from repro.evaluation import make_clusters_scenario, make_glyph_scenario
@@ -233,7 +240,7 @@ def _scaling_section(worker_counts) -> dict:
 def _validate_snapshot(path: Path) -> None:
     """Re-read the written snapshot: it must stay parseable and complete."""
     snapshot = json.loads(path.read_text())
-    for key in ("benchmark", "config", "fuzzer", "attacks_batched", "scaling"):
+    for key in ("benchmark", "config", "fuzzer", "attacks_batched", "scaling", "faults"):
         if key not in snapshot:
             raise AssertionError(f"snapshot is missing the {key!r} section")
     for row in snapshot["scaling"]["workers"]:
@@ -242,6 +249,7 @@ def _validate_snapshot(path: Path) -> None:
                 f"sharded campaign at num_workers={row['num_workers']} "
                 "diverged from the population baseline"
             )
+    validate_faults_section(snapshot["faults"])
 
 
 def main(output: str = "BENCH_fuzzer.json", worker_counts=(1, 2, 4)) -> dict:
@@ -268,6 +276,7 @@ def main(output: str = "BENCH_fuzzer.json", worker_counts=(1, 2, 4)) -> dict:
         },
         "attacks_batched": _attacks_once(scenario),
         "scaling": _scaling_section(worker_counts),
+        "faults": faults_section(),
     }
     path = Path(output)
     path.write_text(json.dumps(snapshot, indent=2) + "\n")

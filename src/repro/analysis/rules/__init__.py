@@ -17,6 +17,9 @@ REP004    lock-discipline   attributes mutated under a ``self._lock`` block are
                             never touched lock-free elsewhere in the class
 REP005    dict-round-trip   ``to_dict``/``from_dict`` pairs agree on their key
                             set (serialization cannot drift silently)
+REP006    timeout-discipline no unbounded cross-process waits (bare
+                            ``future.result()``/``queue.get()``) or raw
+                            executor dispatch outside ``repro.faults``
 ========  ================  ====================================================
 """
 
@@ -25,6 +28,7 @@ from .knobs import LegacyKnobRule
 from .locks import LockDisciplineRule
 from .rng import RngDisciplineRule
 from .roundtrip import DictRoundTripRule
+from .timeouts import TimeoutDisciplineRule
 
 __all__ = [
     "EngineFunnelRule",
@@ -32,4 +36,5 @@ __all__ = [
     "LegacyKnobRule",
     "LockDisciplineRule",
     "DictRoundTripRule",
+    "TimeoutDisciplineRule",
 ]

@@ -1,0 +1,126 @@
+"""REP006 — timeout discipline: no unbounded waits outside the fault layer.
+
+The fault-tolerance story (``repro.faults``) rests on every cross-process
+wait having a deadline: the supervisor gathers futures with
+``result(timeout=...)`` and compares worker heartbeats against the retry
+policy's ``shard_timeout_s``, which is how a SIGKILLed or hung worker is
+*noticed* instead of hanging the campaign forever.  One bare
+``future.result()`` added anywhere else quietly reintroduces the infinite
+wait the supervisor exists to eliminate — it works in every test where
+nothing dies, which is exactly why only a static rule catches it.
+
+Three shapes are flagged outside ``repro/faults/``:
+
+* ``<anything>.result()`` with neither a positional timeout nor a
+  ``timeout=`` keyword — an unbounded wait on a future;
+* ``<queue-ish>.get(...)`` without a timeout — an unbounded blocking read
+  (receivers with a ``queue``/``mailbox`` token; plain ``dict.get`` never
+  matches);
+* ``<pool-ish>.submit(...)`` — raw dispatch onto an executor whose future
+  then needs hand-rolled deadline bookkeeping.  Route the work through
+  :class:`repro.faults.ShardSupervisor` (which owns the deadline), or
+  justify the site with ``# repro: allow[timeout-discipline]``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Optional
+
+from ..walker import ModuleContext, Rule, register_rule
+
+#: The layer that owns deadlines — its waits are the supervised ones.
+EXEMPT_PATH_PART = "repro/faults/"
+
+#: Receiver-name tokens marking a blocking-queue read.
+QUEUE_TOKENS = ("queue", "mailbox")
+
+#: Receiver-name tokens marking an executor dispatch.
+POOL_TOKENS = ("pool", "executor")
+
+
+def _receiver_tokens(node: ast.AST) -> List[str]:
+    """Lower-cased name components of a call receiver.
+
+    Unlike :func:`.common.dotted_name` this tolerates subscripts, so
+    ``pools[worker].submit`` still yields ``["pools"]`` — an executor
+    hiding in a container is the same unsupervised dispatch.
+    """
+    parts: List[str] = []
+    cursor = node
+    while True:
+        if isinstance(cursor, ast.Attribute):
+            parts.append(cursor.attr.lower())
+            cursor = cursor.value
+        elif isinstance(cursor, ast.Subscript):
+            cursor = cursor.value
+        elif isinstance(cursor, ast.Name):
+            parts.append(cursor.id.lower())
+            return parts
+        else:
+            return parts
+
+
+def _has_timeout(node: ast.Call) -> bool:
+    return any(keyword.arg == "timeout" for keyword in node.keywords)
+
+
+def _matches(tokens: List[str], markers: tuple) -> bool:
+    return any(marker in token for token in tokens for marker in markers)
+
+
+@register_rule
+class TimeoutDisciplineRule(Rule):
+    rule_id = "REP006"
+    name = "timeout-discipline"
+    severity = "error"
+    description = (
+        "unbounded cross-process wait (bare future.result()/queue.get()) or "
+        "raw executor dispatch outside the supervised repro.faults layer"
+    )
+
+    def applies_to(self, path: str) -> bool:
+        return EXEMPT_PATH_PART not in path
+
+    def visit_Call(self, node: ast.Call, ctx: ModuleContext) -> None:
+        func = node.func
+        if not isinstance(func, ast.Attribute):
+            return
+        if func.attr == "result":
+            if node.args or _has_timeout(node):
+                return
+            ctx.report(
+                self,
+                node,
+                "bare .result() waits forever if the worker died or hung",
+                hint="pass a timeout (or gather through "
+                "repro.faults.ShardSupervisor); justify a genuinely bounded "
+                "wait with # repro: allow[timeout-discipline]",
+            )
+            return
+        tokens = _receiver_tokens(func.value)
+        if func.attr == "get" and _matches(tokens, QUEUE_TOKENS):
+            # Queue.get(block, timeout): two positionals also bound the wait
+            if len(node.args) >= 2 or _has_timeout(node):
+                return
+            ctx.report(
+                self,
+                node,
+                "blocking queue read without a timeout never notices a dead "
+                "producer",
+                hint="pass timeout= (or get_nowait() in a poll loop); justify "
+                "with # repro: allow[timeout-discipline]",
+            )
+            return
+        if func.attr == "submit" and _matches(tokens, POOL_TOKENS):
+            ctx.report(
+                self,
+                node,
+                "raw executor submit: the returned future needs its own "
+                "deadline/heartbeat bookkeeping to survive worker loss",
+                hint="dispatch through repro.faults.ShardSupervisor.execute, "
+                "or justify with # repro: allow[timeout-discipline]",
+            )
+
+
+__all__ = ["TimeoutDisciplineRule"]

@@ -32,7 +32,8 @@ from ..config import RngLike, ensure_rng
 from ..data.dataset import Dataset
 from ..data.partition import Partition, build_partition_for_dataset
 from ..engine.batching import QueryStats
-from ..exceptions import ConfigurationError
+from ..exceptions import CheckpointMismatchError, ConfigurationError
+from ..faults.supervision import DegradeEvent, on_degrade
 from ..fuzzing.fuzzer import EXECUTION_MODES, FuzzerConfig, OperationalFuzzer
 from ..runtime.policy import ExecutionPolicy, warn_legacy_knob
 from ..store.checkpoint import Checkpointer, campaign_fingerprint, read_checkpoint
@@ -178,6 +179,8 @@ class WorkflowConfig:
                 "cache_dir",
                 "rng_spawning",
                 "start_method",
+                "retry",
+                "faults",
             )
             patch = {
                 **{name: getattr(self.policy, name) for name in fields},
@@ -350,9 +353,8 @@ class OperationalTestingLoop:
         if resume_from is not None:
             payload = read_checkpoint(resume_from)
             if payload.get("fingerprint") != fingerprint:
-                raise ConfigurationError(
-                    f"checkpoint {resume_from} belongs to a different campaign "
-                    "(training data or configuration differ)"
+                raise CheckpointMismatchError(
+                    resume_from, fingerprint, payload.get("fingerprint")
                 )
             # restore every piece of mutable campaign state; the shared RNG
             # object drives the sampler, fuzzer, retrainer and assessor, so
@@ -379,31 +381,46 @@ class OperationalTestingLoop:
             total_test_cases = 0
             start_iteration = 0
 
-        for iteration in range(start_iteration, self.stopping_rule.max_iterations):
-            iteration_report, current, estimate_after = self._run_iteration(
-                iteration, current, operational_data, estimate_before
-            )
-            total_test_cases += iteration_report.test_cases_used
-            report.append(iteration_report)
-            self.last_estimate = estimate_after
-            if checkpointer is not None:
-                checkpointer.save_if_due(
-                    iteration + 1,
-                    lambda: {
+        # when the sharded engine exhausts its worker pool mid-iteration it
+        # degrades to in-process execution; this listener writes a final
+        # checkpoint of the last *completed* iteration first, so nothing is
+        # lost even if the host is about to follow its workers down.  The
+        # snapshot is value-copied at each iteration boundary: the live
+        # report/AE/stats objects mutate mid-iteration, and a checkpoint
+        # must describe a consistent iteration boundary to resume from.
+        last_snapshot: Optional[Tuple[int, dict]] = None
+
+        def _degrade_checkpoint(event: DegradeEvent) -> None:
+            if checkpointer is not None and last_snapshot is not None:
+                checkpointer.save(last_snapshot[0], last_snapshot[1])
+
+        with on_degrade(_degrade_checkpoint):
+            for iteration in range(start_iteration, self.stopping_rule.max_iterations):
+                iteration_report, current, estimate_after = self._run_iteration(
+                    iteration, current, operational_data, estimate_before
+                )
+                total_test_cases += iteration_report.test_cases_used
+                report.append(iteration_report)
+                self.last_estimate = estimate_after
+                if checkpointer is not None:
+                    snapshot = {
                         "next_iteration": iteration + 1,
                         "rng_state": self._rng.bit_generator.state,
-                        "model_weights": current.get_weights(),
-                        "detected_aes": self.detected_aes,
-                        "query_stats": self.query_stats,
-                        "report": report,
+                        "model_weights": copy.deepcopy(current.get_weights()),
+                        "detected_aes": list(self.detected_aes),
+                        "query_stats": dataclasses.replace(self.query_stats),
+                        "report": copy.deepcopy(report),
                         "operational_data": operational_data,
                         "estimate_before": estimate_after,
                         "total_test_cases": total_test_cases,
-                    },
-                )
-            if self.stopping_rule.should_stop(estimate_after, iteration, total_test_cases):
-                break
-            estimate_before = estimate_after
+                    }
+                    last_snapshot = (iteration + 1, snapshot)
+                    checkpointer.save_if_due(iteration + 1, lambda: snapshot)
+                if self.stopping_rule.should_stop(
+                    estimate_after, iteration, total_test_cases
+                ):
+                    break
+                estimate_before = estimate_after
         return current, report
 
     def _run_iteration(

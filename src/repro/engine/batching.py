@@ -55,6 +55,14 @@ class QueryStats:
         Same split for ``loss_input_gradient`` traffic.
     naturalness_rows, naturalness_calls:
         Same split for naturalness scoring traffic.
+    shard_retries, worker_respawns, degraded_shards:
+        Fault counters from supervised sharded execution: shards re-planned
+        after a worker died or hung, worker slots respawned, and shards
+        served by the in-process degradation fallback.  All zero on a clean
+        run; they describe *how* results were obtained, never *what* was
+        computed — see :data:`FAULT_COUNTER_FIELDS`.
+    cache_corrupt_records:
+        Corrupt records the persistent query cache skipped (CRC mismatch).
     """
 
     rows_queried: int = 0
@@ -64,6 +72,10 @@ class QueryStats:
     gradient_calls: int = 0
     naturalness_rows: int = 0
     naturalness_calls: int = 0
+    shard_retries: int = 0
+    worker_respawns: int = 0
+    degraded_shards: int = 0
+    cache_corrupt_records: int = 0
 
     def as_dict(self) -> Dict[str, int]:
         return {
@@ -74,6 +86,10 @@ class QueryStats:
             "gradient_calls": self.gradient_calls,
             "naturalness_rows": self.naturalness_rows,
             "naturalness_calls": self.naturalness_calls,
+            "shard_retries": self.shard_retries,
+            "worker_respawns": self.worker_respawns,
+            "degraded_shards": self.degraded_shards,
+            "cache_corrupt_records": self.cache_corrupt_records,
         }
 
     def to_dict(self) -> Dict[str, int]:
@@ -109,7 +125,23 @@ class QueryStats:
         self.gradient_calls += other.gradient_calls
         self.naturalness_rows += other.naturalness_rows
         self.naturalness_calls += other.naturalness_calls
+        self.shard_retries += other.shard_retries
+        self.worker_respawns += other.worker_respawns
+        self.degraded_shards += other.degraded_shards
+        self.cache_corrupt_records += other.cache_corrupt_records
         return self
+
+
+#: The :class:`QueryStats` fields that describe supervision events rather
+#: than query traffic.  Equivalence suites compare stats *modulo* these:
+#: a campaign that survived worker deaths matches the clean run on every
+#: other counter.
+FAULT_COUNTER_FIELDS = (
+    "shard_retries",
+    "worker_respawns",
+    "degraded_shards",
+    "cache_corrupt_records",
+)
 
 
 @runtime_checkable
@@ -228,6 +260,12 @@ class BatchedQueryEngine:
                 f"(get/put/clear/__len__), got {type(cache).__name__}"
             )
         self.stats = QueryStats()
+        # a durable cache may have skipped CRC-corrupt records while loading
+        # its index; surface that in the engine counters so it reaches the
+        # campaign's stats.json
+        corrupt = int(getattr(self.cache, "corrupt_records", 0) or 0)
+        if corrupt:
+            self.stats.merge(QueryStats(cache_corrupt_records=corrupt))
 
     # ------------------------------------------------------------------ #
     # Classifier protocol (chunked + cached)
@@ -361,6 +399,7 @@ def as_query_engine(
 
 __all__ = [
     "DEFAULT_BATCH_SIZE",
+    "FAULT_COUNTER_FIELDS",
     "QueryStats",
     "CacheBackend",
     "QueryCache",

@@ -40,6 +40,17 @@ in-process engine is faster.  ``num_workers=1`` therefore short-circuits to
 in-process execution (the coordinator is the only worker) while keeping the
 sharded accounting path, which makes it the honest baseline for the scaling
 benchmark.
+
+Pool dispatch runs under a :class:`repro.faults.ShardSupervisor`: every
+worker stamps a shared heartbeat as shards arrive, dead or hung workers are
+detected against the :class:`repro.faults.RetryPolicy` deadline, their lost
+shards are re-planned deterministically onto survivors, and the slot is
+respawned within a bounded budget.  When the pool is exhausted the engine
+degrades to in-process execution of the remaining chunks — same boundaries,
+same order, bit-identical results.  A seeded
+:class:`repro.faults.FaultPlan` can be installed to inject worker kills and
+shard delays reproducibly (the chaos suite and ``benchmarks/bench_faults.py``
+drive exactly this path).
 """
 
 from __future__ import annotations
@@ -47,7 +58,7 @@ from __future__ import annotations
 import pickle
 import threading
 import weakref
-from concurrent.futures import Future, ProcessPoolExecutor
+from concurrent.futures import ProcessPoolExecutor
 from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Iterator, List, Optional, Sequence, Tuple
@@ -57,6 +68,10 @@ import multiprocessing
 import numpy as np
 
 from ..exceptions import ConfigurationError
+from ..faults.heartbeat import WorkerHeartbeat
+from ..faults.injection import FaultPlan, WorkerRuntime
+from ..faults.retry import RetryPolicy
+from ..faults.supervision import ShardSupervisor
 from ..naturalness.metrics import NaturalnessScorer
 from ..types import Classifier
 from .batching import (
@@ -147,21 +162,46 @@ def _shard_naturalness(
 #: initializer.  Module-level so task functions pickle by reference.
 _REPLICA: Optional[Tuple[Classifier, Optional[NaturalnessScorer]]] = None
 
+#: Per-worker heartbeat/fault-injection hooks (see :mod:`repro.faults`).
+_RUNTIME: Optional[WorkerRuntime] = None
 
-def _install_replica(payload: bytes) -> None:
-    global _REPLICA
+
+def _install_worker(
+    payload: bytes,
+    worker_index: int,
+    heartbeat,
+    plan: Optional[FaultPlan],
+) -> None:
+    """Pool initializer: unpack the replica and arm the worker runtime."""
+    global _REPLICA, _RUNTIME
     _REPLICA = pickle.loads(payload)
+    _RUNTIME = WorkerRuntime(worker_index, heartbeat, plan)
 
 
-def _worker_predict_proba(chunk: np.ndarray) -> Tuple[np.ndarray, QueryStats]:
+def _on_shard(shard_index: int) -> None:
+    """Top of every shard task: stamp the heartbeat, apply injected faults."""
+    if _RUNTIME is not None:
+        _RUNTIME.on_shard(shard_index)
+
+
+def _worker_predict_proba(
+    shard_index: int, chunk: np.ndarray
+) -> Tuple[np.ndarray, QueryStats]:
+    _on_shard(shard_index)
     return _shard_predict_proba(_REPLICA[0], chunk)
 
 
-def _worker_gradient(x: np.ndarray, y: np.ndarray) -> Tuple[np.ndarray, QueryStats]:
+def _worker_gradient(
+    shard_index: int, x: np.ndarray, y: np.ndarray
+) -> Tuple[np.ndarray, QueryStats]:
+    _on_shard(shard_index)
     return _shard_gradient(_REPLICA[0], x, y)
 
 
-def _worker_naturalness(chunk: np.ndarray) -> Tuple[np.ndarray, QueryStats]:
+def _worker_naturalness(
+    shard_index: int, chunk: np.ndarray
+) -> Tuple[np.ndarray, QueryStats]:
+    _on_shard(shard_index)
     if _REPLICA[1] is None:
         raise ConfigurationError("worker replica has no naturalness scorer")
     return _shard_naturalness(_REPLICA[1], chunk)
@@ -227,6 +267,15 @@ class ShardedQueryEngine(BatchedQueryEngine):
         Optional :mod:`multiprocessing` start method (``"fork"`` on Linux by
         default).  Workers receive the model via an explicit pickle snapshot
         either way, so replica semantics do not depend on it.
+    retry:
+        :class:`repro.faults.RetryPolicy` governing supervision: heartbeat
+        deadline, respawn budget, retry budget, and whether an exhausted
+        pool fails the campaign or degrades to in-process execution.
+        ``None`` uses the defaults.
+    faults:
+        Optional :class:`repro.faults.FaultPlan` injecting deterministic
+        worker kills and shard delays — the chaos-test hook.  ``None``
+        (the default) injects nothing.
 
     Notes
     -----
@@ -245,6 +294,8 @@ class ShardedQueryEngine(BatchedQueryEngine):
         cache_max_entries: int = 65536,
         num_workers: int = 2,
         start_method: Optional[str] = None,
+        retry: Optional[RetryPolicy] = None,
+        faults: Optional[FaultPlan] = None,
     ) -> None:
         super().__init__(
             model,
@@ -255,13 +306,27 @@ class ShardedQueryEngine(BatchedQueryEngine):
         )
         if num_workers <= 0:
             raise ConfigurationError("num_workers must be positive")
+        if retry is not None and not isinstance(retry, RetryPolicy):
+            raise ConfigurationError(
+                f"retry must be a RetryPolicy or None, got {type(retry).__name__}"
+            )
+        if faults is not None and not isinstance(faults, FaultPlan):
+            raise ConfigurationError(
+                f"faults must be a FaultPlan or None, got {type(faults).__name__}"
+            )
         self.num_workers = int(num_workers)
         self.start_method = start_method
+        self.retry = retry if retry is not None else RetryPolicy()
+        self.faults = faults
         self._lock = threading.Lock()
         if self.cache is not None:
             self.cache = _LockedCache(self.cache, self._lock)
         self._pools: Optional[List[ProcessPoolExecutor]] = None
         self._finalizer: Optional[weakref.finalize] = None
+        self._payload: Optional[bytes] = None
+        self._context = None
+        self._heartbeat: Optional[WorkerHeartbeat] = None
+        self._supervisor: Optional[ShardSupervisor] = None
 
     @property
     def naturalness(self) -> Optional[NaturalnessScorer]:
@@ -318,35 +383,39 @@ class ShardedQueryEngine(BatchedQueryEngine):
         """Run one logical call: plan shards, execute, merge stats, reassemble.
 
         ``worker_fn`` runs against the pool replica, ``local_fn`` against the
-        coordinator's own model/scorer (the ``num_workers == 1`` path);
-        both return ``(values, per_shard_stats)``.
+        coordinator's own model/scorer (the ``num_workers == 1`` path and
+        the degradation fallback); both return ``(values, per_shard_stats)``.
         """
         shards = plan_shards(len(arrays[0]), self.batch_size, self.num_workers)
-        pieces: List[np.ndarray] = []
+        subject = self.model if replica_slot == 0 else self.naturalness
+
+        def run_local(shard: Shard) -> Tuple[np.ndarray, QueryStats]:
+            return local_fn(subject, *(a[shard.start : shard.stop] for a in arrays))
+
         if self.num_workers == 1:
-            subject = self.model if replica_slot == 0 else self.naturalness
+            pieces: List[np.ndarray] = []
             for shard in shards:
-                values, delta = local_fn(
-                    subject, *(a[shard.start : shard.stop] for a in arrays)
-                )
+                values, delta = run_local(shard)
                 self._absorb(delta)
                 pieces.append(values)
         else:
-            pools = self._ensure_workers()
-            futures: List[Future] = [
-                pools[shard.worker].submit(
-                    worker_fn, *(a[shard.start : shard.stop] for a in arrays)
+            pools, supervisor = self._ensure_workers()
+
+            def submit(worker: int, shard: Shard):
+                # supervised dispatch: the supervisor is the only consumer of
+                # this closure and harvests every future with a deadline
+                return pools[worker].submit(  # repro: allow[timeout-discipline]
+                    worker_fn,
+                    shard.index,
+                    *(a[shard.start : shard.stop] for a in arrays),
                 )
-                for shard in shards
-            ]
-            # results (and their stats deltas) are gathered in shard order,
-            # so concatenation — and therefore every campaign outcome — is
-            # independent of which worker finishes first, and the counters
-            # are fully merged before this logical call returns
-            for future in futures:
-                values, delta = future.result()
-                self._absorb(delta)
-                pieces.append(values)
+
+            # the supervisor gathers in shard order, re-plans lost shards
+            # deterministically and (within the retry budget) respawns dead
+            # workers — concatenation, and therefore every campaign outcome,
+            # is independent of which worker finishes first *and* of which
+            # workers survived
+            pieces = supervisor.execute(shards, submit, run_local)
         return pieces[0] if len(pieces) == 1 else np.concatenate(pieces, axis=0)
 
     def _absorb(self, delta: QueryStats) -> None:
@@ -361,33 +430,72 @@ class ShardedQueryEngine(BatchedQueryEngine):
         with self._lock:
             self.stats.merge(delta)
 
-    def _ensure_workers(self) -> List[ProcessPoolExecutor]:
+    def _spawn_pool(self, index: int) -> ProcessPoolExecutor:
+        """One single-process executor for worker slot ``index``.
+
+        Built from the cached replica snapshot, so a respawned slot hosts a
+        bit-identical replica of the one that died.  Callers hold the engine
+        lock (spawn mutates nothing, but the slot tables it lands in do).
+        """
+        # both callers (_ensure_workers, _respawn_worker) hold self._lock,
+        # which also guards the replica snapshot these reads consume
+        return ProcessPoolExecutor(
+            max_workers=1,
+            mp_context=self._context,  # repro: allow[lock-discipline]
+            initializer=_install_worker,
+            initargs=(self._payload, index, self._heartbeat.array, self.faults),  # repro: allow[lock-discipline]
+        )
+
+    def _ensure_workers(self) -> Tuple[List[ProcessPoolExecutor], ShardSupervisor]:
         # under the engine lock: two threads racing their first dispatch
         # must not each spawn (and then leak) a full worker set
         with self._lock:
             if self._pools is None:
-                payload = pickle.dumps(
+                self._payload = pickle.dumps(
                     (self.model, self.naturalness), protocol=pickle.HIGHEST_PROTOCOL
                 )
-                context = (
+                self._context = (
                     multiprocessing.get_context(self.start_method)
                     if self.start_method is not None
                     else multiprocessing.get_context()
                 )
+                self._heartbeat = WorkerHeartbeat(self.num_workers, self._context)
                 # one single-process executor per worker keeps the
                 # shard→worker assignment literal: shard i is *always*
-                # executed by pool i%W
+                # executed by pool i%W (until supervision re-plans it)
                 self._pools = [
-                    ProcessPoolExecutor(
-                        max_workers=1,
-                        mp_context=context,
-                        initializer=_install_replica,
-                        initargs=(payload,),
-                    )
-                    for _ in range(self.num_workers)
+                    self._spawn_pool(index) for index in range(self.num_workers)
                 ]
+                self._supervisor = ShardSupervisor(
+                    retry=self.retry,
+                    num_workers=self.num_workers,
+                    heartbeat=self._heartbeat,
+                    respawn_worker=self._respawn_worker,
+                    absorb=self._absorb,
+                )
                 self._finalizer = weakref.finalize(self, _shutdown_pools, self._pools)
-            return self._pools
+            return self._pools, self._supervisor
+
+    def _respawn_worker(self, worker: int, rebuild: bool) -> None:
+        """Supervisor callback: bury one worker slot and optionally respawn it.
+
+        The old process is killed outright (it may be hung mid-shard, so a
+        cooperative shutdown could block forever) and its executor is torn
+        down; with ``rebuild`` a fresh single-process pool takes over the
+        slot, in place, so the shard→worker tables stay valid.
+        """
+        with self._lock:
+            pools = self._pools
+            if pools is None:
+                return
+            old = pools[worker]
+            # private executor surface — there is no public "kill the worker
+            # process" API, and a hung process never honours shutdown()
+            for process in list(getattr(old, "_processes", {}).values()):
+                process.kill()
+            old.shutdown(wait=False, cancel_futures=True)
+            if rebuild:
+                pools[worker] = self._spawn_pool(worker)
 
     # ------------------------------------------------------------------ #
     # lifecycle
@@ -403,6 +511,10 @@ class ShardedQueryEngine(BatchedQueryEngine):
         """
         with self._lock:
             pools, self._pools = self._pools, None
+            self._supervisor = None
+            self._heartbeat = None
+            self._payload = None
+            self._context = None
             if self._finalizer is not None:
                 self._finalizer.detach()
                 self._finalizer = None

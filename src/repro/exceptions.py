@@ -61,5 +61,27 @@ class CheckpointError(StoreError):
     """A campaign checkpoint is missing, corrupt or from a different campaign."""
 
 
+class CheckpointMismatchError(CheckpointError, ConfigurationError):
+    """A checkpoint's campaign fingerprint does not match the campaign.
+
+    Carries the checkpoint path and both fingerprints so tooling (the CLI
+    ``resume`` verb) can render a one-line diagnosis and exit distinctly
+    from generic store failures.
+    """
+
+    def __init__(self, path: object, expected: object, actual: object) -> None:
+        self.path = str(path)
+        self.expected = expected
+        self.actual = actual
+        super().__init__(
+            f"checkpoint {self.path} belongs to a different campaign: "
+            f"expected fingerprint {expected}, found {actual}"
+        )
+
+
+class FaultToleranceError(ReproError):
+    """Supervised execution exhausted its retry budget with ``on_exhaustion=fail``."""
+
+
 class ConvergenceError(ReproError):
     """An iterative procedure failed to converge within its iteration limit."""

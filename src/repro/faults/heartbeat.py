@@ -1,0 +1,64 @@
+"""Shared-memory worker heartbeats for supervised shard execution.
+
+Each worker slot owns one ``double`` in a :mod:`multiprocessing` shared
+array and stamps it with :func:`time.monotonic` every time it starts a
+shard.  The coordinator reads the same array to distinguish a *slow* worker
+(heartbeat moving — leave it alone) from a *hung or dead* one (heartbeat
+stale past the retry policy's ``shard_timeout_s``).
+
+``time.monotonic`` is comparable across processes on the platforms we run
+on (Linux ``CLOCK_MONOTONIC`` is system-wide), and the array is written
+without a lock: a torn read of a double is not possible on the supported
+platforms, and even a stale read only delays detection by one poll
+interval — it can never corrupt results, because supervision only decides
+*where* a shard runs, never *what* it computes.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional, Sequence
+
+from ..exceptions import ConfigurationError
+
+
+class WorkerHeartbeat:
+    """Coordinator-side view of the per-worker heartbeat array.
+
+    Parameters
+    ----------
+    num_workers:
+        Worker slots to track.
+    context:
+        The :mod:`multiprocessing` context the worker pools are built from
+        (the shared array must come from the same context to be inheritable
+        by the pool initializer).
+    """
+
+    def __init__(self, num_workers: int, context) -> None:
+        if num_workers <= 0:
+            raise ConfigurationError("num_workers must be positive")
+        # lock=False: single-writer-per-slot doubles need no synchronisation
+        self.array = context.Array("d", num_workers, lock=False)
+        now = time.monotonic()
+        for index in range(num_workers):
+            self.array[index] = now
+
+    def __len__(self) -> int:
+        return len(self.array)
+
+    def reset(self, worker: int) -> None:
+        """Re-arm a slot's deadline (on spawn/respawn of its process)."""
+        self.array[worker] = time.monotonic()
+
+    def age(self, worker: int) -> float:
+        """Seconds since worker ``worker`` last touched its heartbeat."""
+        return time.monotonic() - self.array[worker]
+
+
+def beat(array: Sequence[float], worker: int) -> None:
+    """Worker-side stamp: touch ``worker``'s slot with the current time."""
+    array[worker] = time.monotonic()
+
+
+__all__ = ["WorkerHeartbeat", "beat"]

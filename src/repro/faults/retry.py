@@ -1,0 +1,107 @@
+"""Deterministic retry/backoff policy for supervised shard execution.
+
+:class:`RetryPolicy` is the frozen, JSON-serializable knob set consumed by
+:class:`repro.faults.ShardSupervisor`.  It is carried on
+:class:`repro.runtime.ExecutionPolicy` and therefore recorded verbatim in
+every ``CampaignSpec`` / ``run.json``, so a campaign that survived worker
+deaths is reproducible and auditable from its stored spec alone.
+
+Backoff is exponential-with-ceiling and *deterministic* (no jitter): retry
+timing only affects wall time, never results — the bit-identity contract of
+the sharded engine does not depend on when a shard is re-executed, only on
+its boundaries and concatenation order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping
+
+from ..exceptions import ConfigurationError
+
+#: Accepted values for :attr:`RetryPolicy.on_exhaustion`.
+ON_EXHAUSTION = ("degrade", "fail")
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How supervised execution reacts to dead, hung or exhausted workers.
+
+    Attributes
+    ----------
+    max_attempts:
+        Maximum executions per shard (first try included).  ``1`` disables
+        shard retries entirely.
+    max_respawns:
+        Maximum times one worker slot is respawned after its process dies or
+        hangs; beyond this the slot is declared dead and its shards are
+        re-planned onto survivors.
+    backoff_base_s, backoff_ceiling_s:
+        Deterministic exponential backoff before a respawn:
+        ``min(ceiling, base * 2**(respawn - 1))`` seconds.
+    shard_timeout_s:
+        Heartbeat staleness threshold.  A worker whose heartbeat has not
+        moved for this long while a shard is outstanding is declared hung,
+        killed and (within ``max_respawns``) respawned.
+    on_exhaustion:
+        ``"degrade"`` falls back to bit-identical in-process execution when
+        no worker can serve a shard; ``"fail"`` raises
+        :class:`repro.exceptions.FaultToleranceError` instead.
+    """
+
+    max_attempts: int = 2
+    max_respawns: int = 2
+    backoff_base_s: float = 0.05
+    backoff_ceiling_s: float = 1.0
+    shard_timeout_s: float = 120.0
+    on_exhaustion: str = "degrade"
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ConfigurationError("max_attempts must be at least 1")
+        if self.max_respawns < 0:
+            raise ConfigurationError("max_respawns must be non-negative")
+        if self.backoff_base_s < 0 or self.backoff_ceiling_s < 0:
+            raise ConfigurationError("backoff durations must be non-negative")
+        if self.shard_timeout_s <= 0:
+            raise ConfigurationError("shard_timeout_s must be positive")
+        if self.on_exhaustion not in ON_EXHAUSTION:
+            raise ConfigurationError(
+                f"on_exhaustion must be one of {ON_EXHAUSTION}, "
+                f"got {self.on_exhaustion!r}"
+            )
+
+    def backoff_delay(self, respawn: int) -> float:
+        """Seconds to wait before the ``respawn``-th respawn (1-based)."""
+        if respawn < 1:
+            raise ConfigurationError("respawn count is 1-based")
+        return min(self.backoff_ceiling_s, self.backoff_base_s * 2 ** (respawn - 1))
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "max_attempts": self.max_attempts,
+            "max_respawns": self.max_respawns,
+            "backoff_base_s": self.backoff_base_s,
+            "backoff_ceiling_s": self.backoff_ceiling_s,
+            "shard_timeout_s": self.shard_timeout_s,
+            "on_exhaustion": self.on_exhaustion,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "RetryPolicy":
+        """Rebuild a policy from :meth:`to_dict` output (unknown keys rejected)."""
+        known = {f for f in cls.__dataclass_fields__}
+        unknown = set(data) - known
+        if unknown:
+            raise ConfigurationError(f"unknown RetryPolicy fields: {sorted(unknown)}")
+        kwargs: Dict[str, object] = dict(data)
+        for field in ("max_attempts", "max_respawns"):
+            if field in kwargs:
+                kwargs[field] = int(kwargs[field])  # type: ignore[arg-type]
+        for field in ("backoff_base_s", "backoff_ceiling_s", "shard_timeout_s"):
+            if field in kwargs:
+                kwargs[field] = float(kwargs[field])  # type: ignore[arg-type]
+        return cls(**kwargs)  # type: ignore[arg-type]
+
+
+__all__ = ["ON_EXHAUSTION", "RetryPolicy"]

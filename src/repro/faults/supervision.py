@@ -1,0 +1,325 @@
+"""Supervised shard execution: detection, re-planning, respawn, degradation.
+
+:class:`ShardSupervisor` wraps the pool dispatch of
+:class:`repro.engine.ShardedQueryEngine`.  The engine stays responsible for
+*what* runs (shard boundaries, worker functions, stats accounting); the
+supervisor decides *where and when*: it polls outstanding futures with a
+deadline, reads the shared worker heartbeats to tell a slow worker from a
+hung one, SIGKILLs and respawns dead slots within the
+:class:`repro.faults.RetryPolicy` budget, and re-plans lost shards onto
+surviving workers.
+
+Bit-identity survives every one of those decisions by construction:
+
+* shard boundaries and concatenation order never change — supervision only
+  moves a shard to a different (exact-replica) worker;
+* re-assignment is the pure function :func:`reassign_worker` (deterministic
+  in the shard index and the surviving-worker set), property-tested in
+  ``tests/test_property_based.py``;
+* stats deltas are absorbed only from futures actually harvested, so a
+  killed execution never contributes counters — the non-fault counters of a
+  faulted campaign equal the clean run's exactly.
+
+When the retry budget is exhausted (``on_exhaustion="degrade"``), the
+supervisor notifies the :func:`on_degrade` listeners (the workflow loop
+registers one that writes a final checkpoint) and falls back to in-process
+execution of the remaining shards — same chunks, same order, bit-identical
+results, just slower.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import BrokenExecutor
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from contextlib import contextmanager
+from dataclasses import dataclass, replace
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Set
+
+from ..exceptions import ConfigurationError, FaultToleranceError
+from .heartbeat import WorkerHeartbeat
+from .retry import RetryPolicy
+
+
+# --------------------------------------------------------------------------- #
+# deterministic re-planning (pure, property-tested)
+# --------------------------------------------------------------------------- #
+def reassign_worker(shard_index: int, alive_workers: Sequence[int]) -> int:
+    """Deterministic new home for a shard whose worker is gone.
+
+    ``sorted(alive)[shard_index % len(alive)]`` — the same round-robin shape
+    as the original plan, over the surviving workers.  Pure in its inputs,
+    so two coordinators observing the same failure make the same decision.
+    """
+    if not alive_workers:
+        raise ConfigurationError("cannot reassign a shard: no alive workers")
+    alive = sorted(set(alive_workers))
+    return alive[shard_index % len(alive)]
+
+
+def replan(shards: Sequence, alive_workers: Sequence[int]) -> List:
+    """Re-plan a shard list onto the surviving workers.
+
+    Shards whose worker survived keep their assignment; orphaned shards move
+    via :func:`reassign_worker`.  Boundaries (``start``/``stop``) and order
+    (``index``) are never touched — the partition invariants checked in
+    ``tests/test_property_based.py`` hold by construction.
+    """
+    alive = set(alive_workers)
+    return [
+        shard
+        if shard.worker in alive
+        else replace(shard, worker=reassign_worker(shard.index, alive))
+        for shard in shards
+    ]
+
+
+# --------------------------------------------------------------------------- #
+# degradation listeners
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class DegradeEvent:
+    """Published to :func:`on_degrade` listeners when a supervisor degrades."""
+
+    reason: str
+
+
+_DEGRADE_LISTENERS: List[Callable[[DegradeEvent], None]] = []
+
+
+@contextmanager
+def on_degrade(listener: Callable[[DegradeEvent], None]) -> Iterator[None]:
+    """Register a degradation listener for the duration of a ``with`` block.
+
+    The workflow loop uses this to write a final checkpoint the moment the
+    engine gives up on its worker pool, *before* any in-process fallback
+    work starts — nothing computed so far is lost if the host is about to
+    go down with the workers.
+    """
+    _DEGRADE_LISTENERS.append(listener)
+    try:
+        yield
+    finally:
+        _DEGRADE_LISTENERS.remove(listener)
+
+
+def _notify_degrade(event: DegradeEvent) -> None:
+    for listener in list(_DEGRADE_LISTENERS):
+        listener(event)
+
+
+# --------------------------------------------------------------------------- #
+# the supervisor
+# --------------------------------------------------------------------------- #
+class ShardSupervisor:
+    """Deadline/heartbeat supervision over one engine's worker pools.
+
+    Parameters
+    ----------
+    retry:
+        The :class:`RetryPolicy` in force (``None`` → defaults).
+    num_workers:
+        Worker slots under supervision.
+    heartbeat:
+        The shared :class:`WorkerHeartbeat` the pool initializer handed to
+        the workers.
+    respawn_worker:
+        Engine callback ``(worker, rebuild) -> None``: kill the slot's
+        process and shut its pool down; when ``rebuild`` also install a
+        fresh pool from the replica snapshot.
+    absorb:
+        Engine callback merging a :class:`QueryStats` delta (the engine's
+        locked ``_absorb``).
+
+    The supervisor is stateful across dispatches of one engine: respawn
+    budgets, dead slots and the degraded flag persist until the engine
+    closes (which discards the supervisor together with the pools).
+    """
+
+    def __init__(
+        self,
+        retry: Optional[RetryPolicy],
+        num_workers: int,
+        heartbeat: WorkerHeartbeat,
+        respawn_worker: Callable[[int, bool], None],
+        absorb: Callable[[object], None],
+        poll_interval: Optional[float] = None,
+    ) -> None:
+        if num_workers <= 0:
+            raise ConfigurationError("num_workers must be positive")
+        self.retry = retry if retry is not None else RetryPolicy()
+        self.num_workers = int(num_workers)
+        self.heartbeat = heartbeat
+        self._respawn_worker = respawn_worker
+        self._absorb = absorb
+        self.poll_interval = (
+            float(poll_interval)
+            if poll_interval is not None
+            else min(0.05, self.retry.shard_timeout_s / 4.0)
+        )
+        self._respawns = [0] * self.num_workers
+        self._dead: Set[int] = set()
+        self.degraded = False
+
+    # -- worker bookkeeping ------------------------------------------------ #
+    def alive_workers(self) -> List[int]:
+        return [w for w in range(self.num_workers) if w not in self._dead]
+
+    def _stats_delta(self, **counters: int):
+        # imported lazily: repro.engine imports this module at load time
+        from ..engine.batching import QueryStats
+
+        return QueryStats(**counters)
+
+    def _worker_down(self, worker: int, reason: str) -> None:
+        """One slot's process died or hung: respawn within budget, else bury."""
+        if worker in self._dead:
+            return
+        self._respawns[worker] += 1
+        attempt = self._respawns[worker]
+        if attempt <= self.retry.max_respawns:
+            # deterministic exponential backoff; timing never changes results
+            delay = self.retry.backoff_delay(attempt)
+            if delay > 0:
+                time.sleep(delay)
+            self._respawn_worker(worker, True)
+            self.heartbeat.reset(worker)
+            self._absorb(self._stats_delta(worker_respawns=1))
+        else:
+            self._respawn_worker(worker, False)
+            self._dead.add(worker)
+
+    # -- degraded execution ------------------------------------------------ #
+    def _enter_degraded(self, reason: str) -> None:
+        if self.retry.on_exhaustion == "fail":
+            raise FaultToleranceError(
+                f"supervised execution exhausted its retry budget ({reason}) "
+                "and the retry policy says on_exhaustion=fail"
+            )
+        if not self.degraded:
+            self.degraded = True
+            _notify_degrade(DegradeEvent(reason=reason))
+
+    def _run_degraded(self, shard, run_local, pieces) -> None:
+        values, delta = run_local(shard)
+        self._absorb(delta)
+        self._absorb(self._stats_delta(degraded_shards=1))
+        pieces[shard.index] = values
+
+    # -- the dispatch loop ------------------------------------------------- #
+    def execute(self, shards: Sequence, submit, run_local) -> List:
+        """Run every shard to completion, supervising the pool.
+
+        ``submit(worker, shard)`` dispatches one shard to one worker slot
+        and returns its future; ``run_local(shard)`` executes it in-process
+        (the degradation fallback).  Returns the shard values in shard
+        order.
+        """
+        pieces: List = [None] * len(shards)
+        if self.degraded:
+            for shard in shards:
+                self._run_degraded(shard, run_local, pieces)
+            return pieces
+
+        attempts: Dict[int, int] = {}
+        assigned: Dict[int, int] = {}
+        futures: Dict[int, object] = {}
+
+        def launch(shard) -> bool:
+            """Place one shard on an alive worker; False when none can take it."""
+            while True:
+                alive = self.alive_workers()
+                if not alive:
+                    return False
+                worker = (
+                    shard.worker
+                    if shard.worker in set(alive)
+                    else reassign_worker(shard.index, alive)
+                )
+                try:
+                    future = submit(worker, shard)
+                except BrokenExecutor:
+                    # the pool broke between dispatches (e.g. the worker was
+                    # killed after its last shard) — handle and re-place
+                    self._worker_down(worker, reason="pool broken at submit")
+                    continue
+                attempts[shard.index] = attempts.get(shard.index, 0) + 1
+                assigned[shard.index] = worker
+                futures[shard.index] = future
+                return True
+
+        def reclaim(worker: int) -> None:
+            """Re-plan the lost shards of a downed worker onto survivors."""
+            for shard in shards:
+                if pieces[shard.index] is not None or assigned.get(shard.index) != worker:
+                    continue
+                futures.pop(shard.index, None)
+                assigned.pop(shard.index, None)
+                if attempts.get(shard.index, 0) >= self.retry.max_attempts:
+                    continue  # exhausted — surfaced when gathering reaches it
+                if launch(shard):
+                    self._absorb(self._stats_delta(shard_retries=1))
+
+        for shard in shards:
+            if not self.degraded and not launch(shard):
+                self._enter_degraded("no alive workers left to accept shards")
+                break
+
+        # gather in shard order: concatenation — and every campaign
+        # outcome — is independent of which worker finishes first
+        for shard in shards:
+            while pieces[shard.index] is None:
+                if self.degraded:
+                    self._harvest_or_degrade(shard, futures, assigned, run_local, pieces)
+                    continue
+                future = futures.get(shard.index)
+                if future is None:
+                    # lost with no retries left (or never placed)
+                    self._enter_degraded(
+                        f"shard {shard.index} exhausted its "
+                        f"{self.retry.max_attempts} attempts"
+                    )
+                    continue
+                worker = assigned[shard.index]
+                try:
+                    values, delta = future.result(timeout=self.poll_interval)
+                except FutureTimeoutError:
+                    if self.heartbeat.age(worker) <= self.retry.shard_timeout_s:
+                        continue  # still beating: slow or queued, not hung
+                    self._worker_down(worker, reason="heartbeat stale")
+                    reclaim(worker)
+                except BrokenExecutor:
+                    self._worker_down(worker, reason="worker process died")
+                    reclaim(worker)
+                else:
+                    self._absorb(delta)
+                    pieces[shard.index] = values
+        return pieces
+
+    def _harvest_or_degrade(self, shard, futures, assigned, run_local, pieces) -> None:
+        """Degraded-mode finish for one shard: use a live result if present.
+
+        Work already in flight on healthy workers is harvested (identical
+        values, cheaper than recomputing); everything else runs in-process.
+        """
+        future = futures.pop(shard.index, None)
+        worker = assigned.pop(shard.index, None)
+        if future is not None and worker is not None and worker not in self._dead:
+            try:
+                values, delta = future.result(timeout=self.retry.shard_timeout_s)
+            except (FutureTimeoutError, BrokenExecutor):
+                self._worker_down(worker, reason="lost while degrading")
+            else:
+                self._absorb(delta)
+                pieces[shard.index] = values
+                return
+        self._run_degraded(shard, run_local, pieces)
+
+
+__all__ = [
+    "DegradeEvent",
+    "ShardSupervisor",
+    "on_degrade",
+    "reassign_worker",
+    "replan",
+]

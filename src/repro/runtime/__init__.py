@@ -23,6 +23,9 @@ results are bit-identical across policies by construction — only the
 physical execution differs.
 """
 
+# re-exported because they are ExecutionPolicy fields: callers configuring a
+# policy should not need a second import root for its retry/faults values
+from ..faults import FaultPlan, RetryPolicy
 from .backends import (
     ModelBackend,
     ReplicatedBackend,
@@ -50,6 +53,8 @@ __all__ = [
     "unregister_backend",
     "RNG_SPAWN_POLICIES",
     "ExecutionPolicy",
+    "RetryPolicy",
+    "FaultPlan",
     "resolve_legacy_knobs",
     "warn_legacy_knob",
     "CampaignSpec",

@@ -37,6 +37,8 @@ from typing import TYPE_CHECKING, Dict, Iterator, Mapping, Optional, Tuple, Unio
 from ..config import RngLike, spawn_rngs
 from ..engine.batching import DEFAULT_BATCH_SIZE, BatchedQueryEngine, as_query_engine
 from ..exceptions import ConfigurationError
+from ..faults.injection import FaultPlan
+from ..faults.retry import RetryPolicy
 from .backends import resolve_backend
 
 if TYPE_CHECKING:  # pragma: no cover - annotations only
@@ -83,6 +85,18 @@ class ExecutionPolicy:
     start_method:
         Optional :mod:`multiprocessing` start method for process-pool
         backends (platform default when ``None``).
+    retry:
+        Optional :class:`repro.faults.RetryPolicy` for supervised execution
+        (heartbeat deadline, respawn/retry budgets, degrade-vs-fail on
+        exhaustion).  ``None`` means the backend's defaults.  Mappings (from
+        a spec file) are coerced.  Like every policy field this never
+        changes logical results — supervision moves shards, it does not
+        change what they compute.
+    faults:
+        Optional :class:`repro.faults.FaultPlan` injecting deterministic
+        faults (worker kills, shard delays, cache corruption) — the chaos
+        hook.  Recorded verbatim in specs/run.json like everything else, so
+        even a chaos campaign is reproducible from its stored spec.
     """
 
     backend: str = "batched"
@@ -94,6 +108,8 @@ class ExecutionPolicy:
     checkpoint_every: int = 0
     rng_spawning: str = "per-seed"
     start_method: Optional[str] = None
+    retry: Optional[RetryPolicy] = None
+    faults: Optional[FaultPlan] = None
 
     def __post_init__(self) -> None:
         resolve_backend(self.backend)  # fails loudly on unknown names
@@ -118,6 +134,21 @@ class ExecutionPolicy:
         if self.cache_dir is not None and not isinstance(self.cache_dir, str):
             # keep the policy JSON-serializable (pathlib.Path coerced here)
             object.__setattr__(self, "cache_dir", str(self.cache_dir))
+        # coerce spec-file mappings into the frozen fault-tolerance objects
+        if isinstance(self.retry, Mapping):
+            object.__setattr__(self, "retry", RetryPolicy.from_dict(self.retry))
+        elif self.retry is not None and not isinstance(self.retry, RetryPolicy):
+            raise ConfigurationError(
+                f"retry must be a RetryPolicy, a mapping or None, "
+                f"got {type(self.retry).__name__}"
+            )
+        if isinstance(self.faults, Mapping):
+            object.__setattr__(self, "faults", FaultPlan.from_dict(self.faults))
+        elif self.faults is not None and not isinstance(self.faults, FaultPlan):
+            raise ConfigurationError(
+                f"faults must be a FaultPlan, a mapping or None, "
+                f"got {type(self.faults).__name__}"
+            )
 
     # ------------------------------------------------------------------ #
     # serialization

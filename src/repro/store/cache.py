@@ -19,6 +19,12 @@ on-disk layout —
   builds a digest → (segment, offset) index; reads then cost one seek.
   Truncated tail records (a writer killed mid-append) are ignored, so a
   crashed campaign never corrupts the store for the next one;
+* **per-record CRC32** — every record carries a checksum of its key and
+  payload, verified on scan and on read.  A record corrupted *mid-segment*
+  (bit rot, a torn write on crash, injected chaos) is skipped with a
+  warning and counted in :attr:`PersistentQueryCache.corrupt_records`
+  (surfaced as the engine's ``cache_corrupt_records`` stat) — never
+  misread, and never allowed to hide the intact records after it;
 * **shared directories** — several processes (or hosts, via a shared
   filesystem) can point at one directory: each sees every entry that existed
   at open time, appends its own segments, and can pick up concurrent
@@ -36,6 +42,8 @@ import io
 import os
 import struct
 import uuid
+import warnings
+import zlib
 from hashlib import blake2b
 from pathlib import Path
 from typing import Dict, Optional, Tuple, Union
@@ -44,9 +52,14 @@ import numpy as np
 
 from ..exceptions import StoreError
 
-#: Magic bytes opening every record; bumping the version invalidates old files.
-_RECORD_MAGIC = b"RPC1"
-_HEADER = struct.Struct("<4sII")  # magic, key length, value length
+#: Magic bytes opening every record; bumping the version invalidates old files
+#: (RPC1 records carried no checksum and are no longer readable).
+_RECORD_MAGIC = b"RPC2"
+_HEADER = struct.Struct("<4sIII")  # magic, key length, value length, CRC32
+
+
+def _record_crc(key: bytes, payload: bytes) -> int:
+    return zlib.crc32(payload, zlib.crc32(key))
 
 #: Default segment-rotation threshold (64 MiB): large enough that a campaign
 #: typically stays in one segment, small enough that chunks stay manageable.
@@ -109,6 +122,9 @@ class PersistentQueryCache:
         self._readers: Dict[Path, io.BufferedReader] = {}
         self._own_segment: Optional[Path] = None
         self._writer: Optional[io.BufferedWriter] = None
+        #: records skipped because their CRC32 (or framing) did not check out;
+        #: engines surface this as the ``cache_corrupt_records`` stat
+        self.corrupt_records = 0
         self.refresh()
 
     # ------------------------------------------------------------------ #
@@ -119,15 +135,27 @@ class PersistentQueryCache:
 
     def get(self, row: np.ndarray) -> Optional[np.ndarray]:
         key = np.ascontiguousarray(row).tobytes()
-        located = self._index.get(_digest(key))
+        digest = _digest(key)
+        located = self._index.get(digest)
         if located is None:
             return None
         segment, offset = located
         record = self._read_record(segment, offset)
-        if record is None or record[0] != key:
-            # digest collision or a segment mutated behind our back: treat as
-            # a miss rather than ever returning a wrong value
+        if record is None:
+            # the indexed record no longer checks out (a segment mutated or
+            # rotted behind our back): drop the entry, count it once, and
+            # answer a miss rather than ever returning a wrong value
+            self._index.pop(digest, None)
+            self.corrupt_records += 1
+            warnings.warn(
+                f"query cache {segment}: record at offset {offset} failed its "
+                "CRC check and was dropped from the index",
+                RuntimeWarning,
+                stacklevel=2,
+            )
             return None
+        if record[0] != key:
+            return None  # digest collision: a miss, never a wrong value
         return _decode_value(record[1])
 
     def put(self, row: np.ndarray, value: np.ndarray) -> None:
@@ -138,7 +166,9 @@ class PersistentQueryCache:
         payload = _encode_value(np.asarray(value))
         writer = self._ensure_writer()
         offset = writer.tell()
-        writer.write(_HEADER.pack(_RECORD_MAGIC, len(key), len(payload)))
+        writer.write(
+            _HEADER.pack(_RECORD_MAGIC, len(key), len(payload), _record_crc(key, payload))
+        )
         writer.write(key)
         writer.write(payload)
         writer.flush()
@@ -207,9 +237,27 @@ class PersistentQueryCache:
             self._writer = open(self._own_segment, "ab")
         return self._writer
 
+    @staticmethod
+    def _find_magic(handle: io.BufferedReader, start: int) -> Optional[int]:
+        """Offset of the next record magic at/after ``start``, or ``None``."""
+        handle.seek(start)
+        blob = handle.read()
+        position = blob.find(_RECORD_MAGIC)
+        return None if position == -1 else start + position
+
     def _scan_segment(self, segment: Path, start: int) -> int:
-        """Index intact records of ``segment`` from ``start``; skip a torn tail."""
+        """Index intact records of ``segment`` from ``start``.
+
+        A torn *tail* (a writer killed mid-append — possibly completed by a
+        concurrent writer later) stops the scan without advancing the
+        scanned offset, so the next :meth:`refresh` retries it.  A corrupt
+        *mid-segment* record (CRC or framing mismatch with more data after
+        it) is skipped with a warning and counted in
+        :attr:`corrupt_records`; the scan resynchronises on the next record
+        magic so every intact record behind the damage is still indexed.
+        """
         added = 0
+        corrupt = 0
         try:
             size = segment.stat().st_size
         except OSError:
@@ -222,19 +270,43 @@ class PersistentQueryCache:
                 offset = handle.tell()
                 header = handle.read(_HEADER.size)
                 if len(header) < _HEADER.size:
-                    break
-                magic, key_len, value_len = _HEADER.unpack(header)
-                if magic != _RECORD_MAGIC:
-                    break  # foreign or corrupt data: ignore the rest
+                    break  # tail: nothing (complete) after this point
+                magic, key_len, value_len, crc = _HEADER.unpack(header)
+                if (
+                    magic != _RECORD_MAGIC
+                    or offset + _HEADER.size + key_len + value_len > size
+                ):
+                    # corrupt header (or a length field pointing past EOF):
+                    # resynchronise on the next record magic; without one
+                    # this is an ordinary torn tail — leave it for refresh
+                    resync = self._find_magic(handle, offset + 1)
+                    if resync is None:
+                        break
+                    corrupt += 1
+                    self._scanned[segment] = resync
+                    handle.seek(resync)
+                    continue
                 key = handle.read(key_len)
                 payload = handle.read(value_len)
-                if len(key) < key_len or len(payload) < value_len:
-                    break  # torn tail record from a killed writer
+                if _record_crc(key, payload) != crc:
+                    # framing was intact, content was not: the next record
+                    # starts right after this one
+                    corrupt += 1
+                    self._scanned[segment] = handle.tell()
+                    continue
                 digest = _digest(key)
                 if digest not in self._index:
                     self._index[digest] = (segment, offset)
                     added += 1
                 self._scanned[segment] = handle.tell()
+        if corrupt:
+            self.corrupt_records += corrupt
+            warnings.warn(
+                f"query cache {segment}: skipped {corrupt} corrupt record(s) "
+                "(CRC/framing mismatch); intact records were kept",
+                RuntimeWarning,
+                stacklevel=3,
+            )
         return added
 
     def _read_record(self, segment: Path, offset: int) -> Optional[Tuple[bytes, bytes]]:
@@ -244,12 +316,14 @@ class PersistentQueryCache:
             header = handle.read(_HEADER.size)
             if len(header) < _HEADER.size:
                 return None
-            magic, key_len, value_len = _HEADER.unpack(header)
+            magic, key_len, value_len, crc = _HEADER.unpack(header)
             if magic != _RECORD_MAGIC:
                 return None
             key = handle.read(key_len)
             payload = handle.read(value_len)
             if len(key) < key_len or len(payload) < value_len:
+                return None
+            if _record_crc(key, payload) != crc:
                 return None
             return key, payload
         except OSError:

@@ -33,7 +33,7 @@ import sys
 from typing import List, Optional
 
 from ..config import default_runs_dir
-from ..exceptions import ReproError, StoreError
+from ..exceptions import CheckpointMismatchError, ReproError, StoreError
 from .registry import RUN_STATUSES, RunRegistry, StoredRun
 
 
@@ -81,6 +81,16 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="durable query-cache directory (warm across runs/hosts)")
     run.add_argument("--checkpoint-every", type=int, default=1,
                      help="iterations between checkpoints (0 disables)")
+    run.add_argument("--max-attempts", type=int, default=None,
+                     help="supervised executions per shard before the engine "
+                          "degrades (or fails); sharded engine only")
+    run.add_argument("--shard-timeout", type=float, default=None,
+                     help="seconds of heartbeat silence before a worker "
+                          "counts as hung; sharded engine only")
+    run.add_argument("--on-exhaustion", default=None,
+                     choices=("degrade", "fail"),
+                     help="retry-budget exhaustion: degrade to in-process "
+                          "execution (default) or fail the campaign")
 
     resume = commands.add_parser("resume", help="resume an interrupted run")
     resume.add_argument("run_id", help="registry id, e.g. run-0001")
@@ -108,6 +118,7 @@ def _spec_from_flags(args: argparse.Namespace) -> dict:
     they are translated straight into the policy/section layout, so the
     stored run looks exactly like one launched from a spec file.
     """
+    from ..faults.retry import RetryPolicy
     from ..runtime.policy import ExecutionPolicy
 
     scenario: dict = {"name": args.scenario}
@@ -118,12 +129,22 @@ def _spec_from_flags(args: argparse.Namespace) -> dict:
     fuzzer: dict = {"queries_per_seed": int(args.queries_per_seed)}
     if args.engine == "sequential":
         fuzzer["execution"] = "sequential"
+    retry_overrides = {
+        key: value
+        for key, value in (
+            ("max_attempts", args.max_attempts),
+            ("shard_timeout_s", args.shard_timeout),
+            ("on_exhaustion", args.on_exhaustion),
+        )
+        if value is not None
+    }
     policy = ExecutionPolicy(
         backend="sharded" if args.engine == "sharded" else "batched",
         num_workers=int(args.workers),
         cache=True,
         cache_dir=args.cache_dir,
         checkpoint_every=int(args.checkpoint_every),
+        retry=RetryPolicy(**retry_overrides) if retry_overrides else None,
     )
     return {
         "name": args.name,
@@ -271,6 +292,15 @@ def main(argv: Optional[List[str]] = None) -> int:
     registry = RunRegistry(args.runs_dir if args.runs_dir else default_runs_dir())
     try:
         return _COMMANDS[args.command](registry, args)
+    except CheckpointMismatchError as exc:
+        # a usage error, not a campaign failure: the checkpoint on disk was
+        # written by a different campaign than the one being resumed
+        print(
+            f"error: cannot resume from {exc.path}: checkpoint fingerprint "
+            f"{exc.actual} does not match this campaign's {exc.expected}",
+            file=sys.stderr,
+        )
+        return 2
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1

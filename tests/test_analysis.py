@@ -47,9 +47,9 @@ def dedent(snippet: str) -> str:
 # registry / framework
 # --------------------------------------------------------------------------- #
 class TestFramework:
-    def test_five_rules_registered(self):
+    def test_six_rules_registered(self):
         assert sorted(registered_rules()) == [
-            "REP001", "REP002", "REP003", "REP004", "REP005",
+            "REP001", "REP002", "REP003", "REP004", "REP005", "REP006",
         ]
 
     def test_default_rules_are_fresh_instances_in_id_order(self):
@@ -406,6 +406,46 @@ class TestDictRoundTrip:
 
 
 # --------------------------------------------------------------------------- #
+# REP006 timeout-discipline
+# --------------------------------------------------------------------------- #
+class TestTimeoutDiscipline:
+    def test_bare_result_flagged(self):
+        findings = analyze_source("value = future.result()\n", APP_PATH)
+        assert [(f.rule, f.name) for f in findings] == [
+            ("REP006", "timeout-discipline")
+        ]
+        assert "waits forever" in findings[0].message
+
+    def test_result_with_timeout_clean(self):
+        assert analyze_source("value = future.result(timeout=5.0)\n", APP_PATH) == []
+        assert analyze_source("value = future.result(5.0)\n", APP_PATH) == []
+
+    def test_queue_get_without_timeout_flagged(self):
+        findings = analyze_source("item = work_queue.get()\n", APP_PATH)
+        assert [f.rule for f in findings] == ["REP006"]
+
+    def test_queue_get_bounded_clean(self):
+        assert analyze_source("item = work_queue.get(timeout=1.0)\n", APP_PATH) == []
+        assert analyze_source("item = work_queue.get(True, 1.0)\n", APP_PATH) == []
+
+    def test_dict_get_never_matches(self):
+        # .get on a non-queue receiver is ordinary dict access
+        assert analyze_source("value = config.get('key')\n", APP_PATH) == []
+
+    def test_pool_submit_flagged_even_via_subscript(self):
+        findings = analyze_source("fut = pools[worker].submit(fn, arg)\n", APP_PATH)
+        assert [f.rule for f in findings] == ["REP006"]
+        assert "ShardSupervisor" in findings[0].hint
+
+    def test_non_pool_submit_clean(self):
+        assert analyze_source("form.submit()\n", APP_PATH) == []
+
+    def test_faults_layer_exempt(self):
+        source = "value = future.result()\n"
+        assert analyze_source(source, "src/repro/faults/supervision.py") == []
+
+
+# --------------------------------------------------------------------------- #
 # pragmas
 # --------------------------------------------------------------------------- #
 class TestPragmas:
@@ -611,7 +651,7 @@ class TestCli:
     def test_list_rules(self, capsys):
         assert lint_main(["--list-rules"]) == 0
         out = capsys.readouterr().out
-        for rule_id in ("REP001", "REP002", "REP003", "REP004", "REP005"):
+        for rule_id in ("REP001", "REP002", "REP003", "REP004", "REP005", "REP006"):
             assert rule_id in out
 
     def test_conflicting_baseline_flags_rejected(self, tmp_path):
@@ -661,6 +701,7 @@ class TestSelfScan:
                         return cls(a=data["a"], b=data["b"])
                 """
             ),
+            "REP006": "value = future.result()\n",
         }
         for rule_id, source in seeded.items():
             findings = analyze_source(source, APP_PATH)

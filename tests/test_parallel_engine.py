@@ -388,6 +388,10 @@ class TestConcurrentMergeSafety:
             "gradient_calls": 4,
             "naturalness_rows": 7,
             "naturalness_calls": 1,
+            "shard_retries": 0,
+            "worker_respawns": 0,
+            "degraded_shards": 0,
+            "cache_corrupt_records": 0,
         }
 
 

@@ -11,6 +11,8 @@ from hypothesis.extra.numpy import arrays
 from repro.config import clip01, ensure_rng
 from repro.data import Dataset, GridPartition
 from repro.engine import BatchedQueryEngine, QueryStats, plan_shards
+from repro.exceptions import ConfigurationError
+from repro.faults import reassign_worker, replan
 from repro.fuzzing import FuzzerConfig, OperationalFuzzer
 from repro.store import PersistentQueryCache
 from repro.nn.losses import SoftmaxCrossEntropy
@@ -237,6 +239,57 @@ class TestEngineShardingProperties:
             assert shard.worker == shard.index % num_workers
             covered = shard.stop
         assert covered == n
+
+    @given(
+        st.integers(min_value=0, max_value=500),
+        st.integers(min_value=1, max_value=64),
+        st.integers(min_value=1, max_value=8),
+        st.sets(st.integers(min_value=0, max_value=7)),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_replan_preserves_partition_and_targets_survivors(
+        self, n, batch_size, num_workers, dead
+    ):
+        """Supervised re-planning never changes what a shard computes.
+
+        The partition (boundaries, indices, order) of a re-planned shard
+        list is byte-for-byte the original's; only orphaned shards move,
+        and only onto surviving workers — the invariants the bit-identity
+        contract of :mod:`repro.faults.supervision` rests on.
+        """
+        shards = plan_shards(n, batch_size, num_workers)
+        alive = [w for w in range(num_workers) if w not in dead]
+        if not alive:
+            if shards:
+                with pytest.raises(ConfigurationError):
+                    replan(shards, alive)
+            return
+        replanned = replan(shards, alive)
+        assert [(s.index, s.start, s.stop) for s in replanned] == [
+            (s.index, s.start, s.stop) for s in shards
+        ]
+        for original, moved in zip(shards, replanned):
+            assert moved.worker in alive
+            if original.worker in alive:
+                assert moved is original  # survivors keep their assignment
+            else:
+                assert moved.worker == reassign_worker(original.index, alive)
+        # pure in its inputs: the same failure yields the same plan
+        assert replan(shards, alive) == replanned
+
+    @given(
+        st.integers(min_value=0, max_value=10_000),
+        st.sets(st.integers(min_value=0, max_value=63), min_size=1),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_reassign_worker_deterministic_and_alive(self, shard_index, alive):
+        worker = reassign_worker(shard_index, sorted(alive))
+        assert worker in alive
+        # order- and duplicate-insensitive in the survivor set
+        shuffled = list(alive) + list(alive)
+        assert reassign_worker(shard_index, shuffled) == worker
+        with pytest.raises(ConfigurationError):
+            reassign_worker(shard_index, [])
 
     @given(
         st.integers(min_value=1, max_value=40),
