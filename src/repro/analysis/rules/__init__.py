@@ -20,6 +20,9 @@ REP005    dict-round-trip   ``to_dict``/``from_dict`` pairs agree on their key
 REP006    timeout-discipline no unbounded cross-process waits (bare
                             ``future.result()``/``queue.get()``) or raw
                             executor dispatch outside ``repro.faults``
+REP007    shm-lifecycle     no ``SharedMemory`` creation without paired
+                            ``unlink()``/``close()`` cleanup (leaked segments
+                            outlive the process)
 ========  ================  ====================================================
 """
 
@@ -28,6 +31,7 @@ from .knobs import LegacyKnobRule
 from .locks import LockDisciplineRule
 from .rng import RngDisciplineRule
 from .roundtrip import DictRoundTripRule
+from .shm import ShmLifecycleRule
 from .timeouts import TimeoutDisciplineRule
 
 __all__ = [
@@ -37,4 +41,5 @@ __all__ = [
     "LockDisciplineRule",
     "DictRoundTripRule",
     "TimeoutDisciplineRule",
+    "ShmLifecycleRule",
 ]

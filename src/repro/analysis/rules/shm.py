@@ -1,0 +1,145 @@
+"""REP007 — shm lifecycle: no SharedMemory creation without paired cleanup.
+
+A :class:`multiprocessing.shared_memory.SharedMemory` segment is a kernel
+object, not a Python object: dropping the last reference unmaps it but does
+**not** remove it — a segment created and never ``unlink()``-ed outlives the
+process in ``/dev/shm`` until the machine reboots (the resource tracker
+merely *warns*).  The zero-copy shard transport makes segment creation a hot
+code path, which is exactly when a forgotten cleanup becomes a slow host
+leak: every crashed or interrupted campaign leaves its rings behind.
+
+The rule therefore flags every ``SharedMemory(...)`` construction that is
+not visibly paired with cleanup in the same scope:
+
+* as the context expression of a ``with`` statement (the context manager
+  closes the mapping), or
+* inside a ``try`` whose ``finally`` calls ``.close()`` / ``.unlink()`` /
+  ``.release()`` on something.
+
+Ownership transfers — a segment stored on ``self`` and released by a
+dedicated lifecycle method (``ShmRing.release``), or a worker-side attach
+whose close happens on cache eviction — are legitimate and must say so with
+``# repro: allow[shm-lifecycle]`` right where the segment is created, which
+is the point: segment lifecycle is always either locally obvious or
+explicitly documented.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Sequence
+
+from ..walker import ModuleContext, Rule, register_rule
+
+#: Attribute calls in a ``finally`` accepted as cleanup of a created segment.
+CLEANUP_ATTRS = ("close", "unlink", "release")
+
+#: Statement types that open their own scope — their bodies are scanned by
+#: their own ``visit_`` callback, never by an enclosing scope's scan.
+_SCOPE_STMTS = (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+
+
+def _is_shared_memory_call(node: ast.AST) -> bool:
+    if not isinstance(node, ast.Call):
+        return False
+    func = node.func
+    if isinstance(func, ast.Attribute):
+        return func.attr == "SharedMemory"
+    return isinstance(func, ast.Name) and func.id == "SharedMemory"
+
+
+def _has_cleanup(finalbody: Sequence[ast.stmt]) -> bool:
+    for stmt in finalbody:
+        for node in ast.walk(stmt):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in CLEANUP_ATTRS
+            ):
+                return True
+    return False
+
+
+@register_rule
+class ShmLifecycleRule(Rule):
+    rule_id = "REP007"
+    name = "shm-lifecycle"
+    severity = "error"
+    description = (
+        "SharedMemory created without a paired unlink()/close() in a finally "
+        "or context manager (leaked segments outlive the process)"
+    )
+
+    # -- scope entry points (one scan per scope, nested scopes excluded) --- #
+    def visit_Module(self, node: ast.Module, ctx: ModuleContext) -> None:
+        self._scan_body(node.body, ctx, guarded=False)
+
+    def visit_FunctionDef(self, node: ast.FunctionDef, ctx: ModuleContext) -> None:
+        self._scan_body(node.body, ctx, guarded=False)
+
+    def visit_AsyncFunctionDef(
+        self, node: ast.AsyncFunctionDef, ctx: ModuleContext
+    ) -> None:
+        self._scan_body(node.body, ctx, guarded=False)
+
+    def visit_ClassDef(self, node: ast.ClassDef, ctx: ModuleContext) -> None:
+        self._scan_body(node.body, ctx, guarded=False)
+
+    # -- the scan ---------------------------------------------------------- #
+    def _scan_body(
+        self, body: Sequence[ast.stmt], ctx: ModuleContext, guarded: bool
+    ) -> None:
+        # the canonical pattern creates *before* the try whose finally cleans
+        # up (`segment = SharedMemory(...)` / `try: ... finally: close()`):
+        # a creation is guarded if any later sibling is such a try
+        protected_after = [False] * (len(body) + 1)
+        for i in range(len(body) - 1, -1, -1):
+            protected_after[i] = protected_after[i + 1] or (
+                isinstance(body[i], ast.Try) and _has_cleanup(body[i].finalbody)
+            )
+        for i, stmt in enumerate(body):
+            self._scan_stmt(stmt, ctx, guarded or protected_after[i + 1])
+
+    def _scan_stmt(self, stmt: ast.stmt, ctx: ModuleContext, guarded: bool) -> None:
+        if isinstance(stmt, _SCOPE_STMTS):
+            return  # its own visit_ callback scans it
+        if isinstance(stmt, ast.Try):
+            inner = guarded or _has_cleanup(stmt.finalbody)
+            self._scan_body(list(stmt.body) + list(stmt.orelse), ctx, inner)
+            for handler in stmt.handlers:
+                self._scan_body(handler.body, ctx, inner)
+            # a creation *inside* the finally is not protected by it
+            self._scan_body(stmt.finalbody, ctx, guarded)
+            return
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            # the context manager owns cleanup of its context expressions
+            self._scan_body(stmt.body, ctx, guarded)
+            return
+        nested = []
+        for field_name in ("body", "orelse"):
+            nested.extend(getattr(stmt, field_name, []) or [])
+        if nested:
+            for child in ast.iter_child_nodes(stmt):
+                if not isinstance(child, ast.stmt):
+                    self._check_expr(child, ctx, guarded)
+            self._scan_body(nested, ctx, guarded)
+        else:
+            self._check_expr(stmt, ctx, guarded)
+
+    def _check_expr(self, node: ast.AST, ctx: ModuleContext, guarded: bool) -> None:
+        if guarded:
+            return
+        for sub in ast.walk(node):
+            if _is_shared_memory_call(sub):
+                ctx.report(
+                    self,
+                    sub,
+                    "SharedMemory segment created without visible cleanup — "
+                    "an un-unlinked segment outlives the process in /dev/shm",
+                    hint="wrap in `with`, pair with close()/unlink() in a "
+                    "finally, or document the ownership transfer with "
+                    "# repro: allow[shm-lifecycle]",
+                )
+
+
+__all__ = ["ShmLifecycleRule"]

@@ -15,6 +15,10 @@ queries:
   multi-worker execution backend that shards physical chunks across a pool
   of pickled model replicas with bit-identical results, plus the low-level
   :func:`build_query_engine` construction helpers.
+* :mod:`repro.engine.transport` — how shard row blocks travel to the
+  workers: the pickle wire, zero-copy shared-memory ring buffers, or an
+  in-process thread pool (``transport="pickle" | "shm" | "threads"``,
+  default ``"auto"`` by block size).  Transport never changes results.
 
 Subsystems select and construct engines through the runtime API
 (:class:`repro.runtime.ExecutionPolicy` and the registered
@@ -46,6 +50,7 @@ from .population import (
     fitness_from_probs,
     pick_operator,
 )
+from .transport import SHM_MIN_BLOCK_BYTES, TRANSPORTS, validate_transport
 
 __all__ = [
     "DEFAULT_BATCH_SIZE",
@@ -65,4 +70,7 @@ __all__ = [
     "SeedTask",
     "fitness_from_probs",
     "pick_operator",
+    "TRANSPORTS",
+    "SHM_MIN_BLOCK_BYTES",
+    "validate_transport",
 ]

@@ -174,14 +174,30 @@ class CacheBackend(Protocol):
         ...
 
 
+def row_cache_key(row: np.ndarray) -> bytes:
+    """The exact-content cache key of one input row.
+
+    Raw ``tobytes()`` alone is ambiguous: two rows with identical bytes but
+    different dtype or width (``float32`` vs ``float64``, a (4,) row vs a
+    (2, 2) block) would collide and serve each other's probabilities.  The
+    key therefore tags the payload with dtype and shape.  Shared by
+    :class:`QueryCache` and :class:`repro.store.PersistentQueryCache` so the
+    two cache layers can never disagree on row identity.
+    """
+    row = np.ascontiguousarray(row)
+    header = f"{row.dtype.str}:{row.shape}:".encode("ascii")
+    return header + row.tobytes()
+
+
 class QueryCache:
     """Exact memoizing cache mapping input rows to class probabilities.
 
-    Keys are the raw bytes of the (float) row, so a hit returns exactly the
-    probabilities the model produced the first time — no approximation is
-    introduced anywhere.  Eviction is insertion-ordered (FIFO), which is
-    cheap and good enough for the fuzzing workloads where repeats cluster
-    in time (re-sampled seeds, re-visited currents).
+    Keys are the dtype/shape-tagged bytes of the row
+    (:func:`row_cache_key`), so a hit returns exactly the probabilities the
+    model produced the first time — no approximation is introduced anywhere.
+    Eviction is insertion-ordered (FIFO), which is cheap and good enough for
+    the fuzzing workloads where repeats cluster in time (re-sampled seeds,
+    re-visited currents).
     """
 
     def __init__(self, max_entries: int = 65536) -> None:
@@ -194,13 +210,16 @@ class QueryCache:
         return len(self._store)
 
     def get(self, row: np.ndarray) -> Optional[np.ndarray]:
-        return self._store.get(row.tobytes())
+        return self._store.get(row_cache_key(row))
 
     def put(self, row: np.ndarray, value: np.ndarray) -> None:
         store = self._store
-        if len(store) >= self.max_entries:
+        key = row_cache_key(row)
+        # evict only on genuine insert: overwriting an existing key must not
+        # drop an unrelated (possibly hot) entry
+        if key not in store and len(store) >= self.max_entries:
             store.pop(next(iter(store)))
-        store[row.tobytes()] = value
+        store[key] = value
 
     def clear(self) -> None:
         self._store.clear()
@@ -403,6 +422,7 @@ __all__ = [
     "QueryStats",
     "CacheBackend",
     "QueryCache",
+    "row_cache_key",
     "BatchedQueryEngine",
     "as_query_engine",
 ]

@@ -32,9 +32,25 @@ engine's counters through a single locked merge point (:meth:`_absorb`),
 and the memoizing cache lives in the coordinator behind the same lock — a
 row computed by one worker is answered from the cache for every other
 worker, so repeated rows cost one physical call across the whole pool.
+Cache lookups happen *before* dispatch, so rows served over any transport
+(pickle, shared memory, threads) hit the same coordinator cache.
+
+**Transports.**  *Where* a shard runs (the worker pool) is independent of
+*how* its row block gets there.  Three transports are available via the
+``transport`` knob (see :mod:`repro.engine.transport`): ``"pickle"`` (the
+historical per-task pickling), ``"shm"`` (preallocated
+:mod:`multiprocessing.shared_memory` ring buffers — the coordinator writes
+each block once, workers read zero-copy, and only tiny envelopes ride the
+pool, which is what turned the multi-worker slowdown into a speedup), and
+``"threads"`` (an in-process thread pool with per-thread replicas for
+GIL-releasing BLAS models — no IPC at all).  ``"auto"`` (default) picks
+pickle vs shm per logical call by block size.  Every transport moves the
+same chunk boundaries carrying the same bytes, so results stay
+bit-identical — the transport matrix in ``tests/test_parallel_engine.py``
+is the acceptance gate.
 
 Sharding pays off when the per-chunk compute (large models, KDE/autoencoder
-naturalness, wide matrices) dominates the pickling round-trip and the
+naturalness, wide matrices) dominates the transport round-trip and the
 machine has idle cores; on a single-core host or for tiny per-row work the
 in-process engine is faster.  ``num_workers=1`` therefore short-circuits to
 in-process execution (the coordinator is the only worker) while keeping the
@@ -45,12 +61,16 @@ Pool dispatch runs under a :class:`repro.faults.ShardSupervisor`: every
 worker stamps a shared heartbeat as shards arrive, dead or hung workers are
 detected against the :class:`repro.faults.RetryPolicy` deadline, their lost
 shards are re-planned deterministically onto survivors, and the slot is
-respawned within a bounded budget.  When the pool is exhausted the engine
-degrades to in-process execution of the remaining chunks — same boundaries,
-same order, bit-identical results.  A seeded
-:class:`repro.faults.FaultPlan` can be installed to inject worker kills and
-shard delays reproducibly (the chaos suite and ``benchmarks/bench_faults.py``
-drive exactly this path).
+respawned within a bounded budget.  Supervision composes with the
+shared-memory transport: a respawned worker process simply reattaches to
+its segments by name on its next staged shard, slots staged on a killed
+worker are reclaimed the moment its process is buried, and degradation to
+in-process execution unlinks every segment (nothing to leak once the pool
+is gone).  When the pool is exhausted the engine degrades to in-process
+execution of the remaining chunks — same boundaries, same order,
+bit-identical results.  A seeded :class:`repro.faults.FaultPlan` can be
+installed to inject worker kills and shard delays reproducibly (the chaos
+suite and ``benchmarks/bench_faults.py`` drive exactly this path).
 """
 
 from __future__ import annotations
@@ -58,7 +78,7 @@ from __future__ import annotations
 import pickle
 import threading
 import weakref
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Iterator, List, Optional, Sequence, Tuple
@@ -80,6 +100,17 @@ from .batching import (
     QueryStats,
     _iter_chunks,
     as_query_engine,
+)
+from .transport import (
+    SLOT_HEADROOM,
+    RingPair,
+    ShmStaging,
+    read_request,
+    release_rings,
+    request_block_bytes,
+    resolve_auto_transport,
+    validate_transport,
+    write_response,
 )
 
 #: Engine backends accepted wherever an ``engine`` knob is threaded through
@@ -158,6 +189,25 @@ def _shard_naturalness(
     )
 
 
+def _replica_subject(replica, replica_slot: int):
+    """The model (slot 0) or naturalness scorer (slot 1) of a replica."""
+    subject = replica[replica_slot]
+    if subject is None:
+        raise ConfigurationError("worker replica has no naturalness scorer")
+    return subject
+
+
+#: Call kinds: kind -> (shard computation, replica slot).  The shard
+#: computation is shared verbatim by every execution path — process workers
+#: (pickle and shm transports), thread workers and the in-process fallback —
+#: which is what keeps transports bit-identical by construction.
+_SHARD_KINDS = {
+    "proba": (_shard_predict_proba, 0),
+    "grad": (_shard_gradient, 0),
+    "nat": (_shard_naturalness, 1),
+}
+
+
 #: Per-worker replica of ``(model, naturalness)``, installed by the pool
 #: initializer.  Module-level so task functions pickle by reference.
 _REPLICA: Optional[Tuple[Classifier, Optional[NaturalnessScorer]]] = None
@@ -184,27 +234,53 @@ def _on_shard(shard_index: int) -> None:
         _RUNTIME.on_shard(shard_index)
 
 
-def _worker_predict_proba(
-    shard_index: int, chunk: np.ndarray
-) -> Tuple[np.ndarray, QueryStats]:
+def _worker_shard(kind: str, shard_index: int, *arrays) -> Tuple[np.ndarray, QueryStats]:
+    """Process-worker task, pickle transport: arrays arrive on the wire."""
     _on_shard(shard_index)
-    return _shard_predict_proba(_REPLICA[0], chunk)
+    shard_fn, replica_slot = _SHARD_KINDS[kind]
+    return shard_fn(_replica_subject(_REPLICA, replica_slot), *arrays)
 
 
-def _worker_gradient(
-    shard_index: int, x: np.ndarray, y: np.ndarray
-) -> Tuple[np.ndarray, QueryStats]:
+def _worker_shard_shm(kind: str, shard_index: int, envelope):
+    """Process-worker task, shm transport: only the envelope rides the wire.
+
+    The row block is read zero-copy from the request ring (reattaching by
+    name — which is also how a respawned worker process finds its segments
+    again) and the result lands in the response ring; the returned payload
+    is just ``("shm", (offset, shape, dtype))`` plus the stats delta, or an
+    inline array when the result outgrew its slot.
+    """
     _on_shard(shard_index)
-    return _shard_gradient(_REPLICA[0], x, y)
+    shard_fn, replica_slot = _SHARD_KINDS[kind]
+    views = read_request(envelope)
+    values, delta = shard_fn(_replica_subject(_REPLICA, replica_slot), *views)
+    return write_response(envelope, values), delta
 
 
-def _worker_naturalness(
-    shard_index: int, chunk: np.ndarray
-) -> Tuple[np.ndarray, QueryStats]:
-    _on_shard(shard_index)
-    if _REPLICA[1] is None:
-        raise ConfigurationError("worker replica has no naturalness scorer")
-    return _shard_naturalness(_REPLICA[1], chunk)
+#: Thread-worker state: one replica per worker *thread* (installed by the
+#: thread-pool initializer).  Per-thread replicas keep bit-identity without
+#: requiring the model's forward pass to be re-entrant — several nn layers
+#: cache activations on ``self`` during ``forward``.
+_THREAD_STATE = threading.local()
+
+
+def _install_thread_worker(
+    payload: bytes,
+    worker_index: int,
+    heartbeat,
+    plan: Optional[FaultPlan],
+) -> None:
+    _THREAD_STATE.replica = pickle.loads(payload)
+    _THREAD_STATE.runtime = WorkerRuntime(worker_index, heartbeat, plan)
+
+
+def _thread_shard(kind: str, shard_index: int, *arrays) -> Tuple[np.ndarray, QueryStats]:
+    """Thread-worker task: arrays pass by reference — no IPC at all."""
+    runtime = getattr(_THREAD_STATE, "runtime", None)
+    if runtime is not None:
+        runtime.on_shard(shard_index)
+    shard_fn, replica_slot = _SHARD_KINDS[kind]
+    return shard_fn(_replica_subject(_THREAD_STATE.replica, replica_slot), *arrays)
 
 
 def _shutdown_pools(pools: Sequence[ProcessPoolExecutor]) -> None:
@@ -251,22 +327,30 @@ class ShardedQueryEngine(BatchedQueryEngine):
     """Multi-worker execution backend behind the batched query engine.
 
     Drop-in for :class:`BatchedQueryEngine` (same constructor surface plus
-    ``num_workers``/``start_method``); all logical semantics — chunk
-    boundaries, caching, :class:`QueryStats` meanings — are inherited, only
-    the physical execution of chunks moves to worker processes.
+    ``num_workers``/``start_method``/``transport``); all logical semantics —
+    chunk boundaries, caching, :class:`QueryStats` meanings — are inherited,
+    only the physical execution of chunks moves to worker processes (or
+    threads).
 
     Parameters
     ----------
     model, naturalness, batch_size, cache, cache_max_entries:
         As for :class:`BatchedQueryEngine`.
     num_workers:
-        Worker processes to shard physical calls across.  ``1`` executes
-        in-process (no pool, no pickling) but keeps the sharded accounting
-        path, making it the honest single-worker baseline.
+        Worker processes (or threads) to shard physical calls across.  ``1``
+        executes in-process (no pool, no transport) but keeps the sharded
+        accounting path, making it the honest single-worker baseline.
     start_method:
         Optional :mod:`multiprocessing` start method (``"fork"`` on Linux by
         default).  Workers receive the model via an explicit pickle snapshot
-        either way, so replica semantics do not depend on it.
+        either way, so replica semantics do not depend on it.  Ignored by
+        the thread transport.
+    transport:
+        How row blocks reach the workers: ``"pickle"`` (per-task pickling),
+        ``"shm"`` (zero-copy shared-memory ring buffers), ``"threads"``
+        (in-process thread pool with per-thread replicas) or ``"auto"``
+        (default: pickle vs shm chosen per logical call by block size).
+        Transport never changes results — see :mod:`repro.engine.transport`.
     retry:
         :class:`repro.faults.RetryPolicy` governing supervision: heartbeat
         deadline, respawn budget, retry budget, and whether an exhausted
@@ -275,7 +359,9 @@ class ShardedQueryEngine(BatchedQueryEngine):
     faults:
         Optional :class:`repro.faults.FaultPlan` injecting deterministic
         worker kills and shard delays — the chaos-test hook.  ``None``
-        (the default) injects nothing.
+        (the default) injects nothing.  Kill actions require process
+        workers (a thread cannot be SIGKILLed in isolation), so plans with
+        kills are rejected under ``transport="threads"``.
 
     Notes
     -----
@@ -283,6 +369,12 @@ class ShardedQueryEngine(BatchedQueryEngine):
     the model afterwards (e.g. retraining in place) is not reflected in the
     replicas — build a fresh engine per campaign, as every call site in this
     repository does, or call :meth:`close` to force a re-snapshot.
+
+    Shared-memory footprint: per worker, the request and response rings are
+    sized to that worker's planned shards (+ :data:`SLOT_HEADROOM` for
+    re-planned shards), so one dispatch maps roughly twice its input matrix
+    across all workers.  Rings persist across dispatches (grow-only) and
+    are unlinked on :meth:`close`, on degradation, and by a finalizer.
     """
 
     def __init__(
@@ -294,6 +386,7 @@ class ShardedQueryEngine(BatchedQueryEngine):
         cache_max_entries: int = 65536,
         num_workers: int = 2,
         start_method: Optional[str] = None,
+        transport: str = "auto",
         retry: Optional[RetryPolicy] = None,
         faults: Optional[FaultPlan] = None,
     ) -> None:
@@ -306,6 +399,7 @@ class ShardedQueryEngine(BatchedQueryEngine):
         )
         if num_workers <= 0:
             raise ConfigurationError("num_workers must be positive")
+        validate_transport(transport)
         if retry is not None and not isinstance(retry, RetryPolicy):
             raise ConfigurationError(
                 f"retry must be a RetryPolicy or None, got {type(retry).__name__}"
@@ -314,8 +408,15 @@ class ShardedQueryEngine(BatchedQueryEngine):
             raise ConfigurationError(
                 f"faults must be a FaultPlan or None, got {type(faults).__name__}"
             )
+        if transport == "threads" and faults is not None and faults.kills:
+            raise ConfigurationError(
+                "FaultPlan kill actions require process workers (a thread "
+                "cannot be SIGKILLed in isolation); use transport='pickle' "
+                "or 'shm' for kill-injection chaos runs"
+            )
         self.num_workers = int(num_workers)
         self.start_method = start_method
+        self.transport = transport
         self.retry = retry if retry is not None else RetryPolicy()
         self.faults = faults
         self._lock = threading.Lock()
@@ -327,6 +428,12 @@ class ShardedQueryEngine(BatchedQueryEngine):
         self._context = None
         self._heartbeat: Optional[WorkerHeartbeat] = None
         self._supervisor: Optional[ShardSupervisor] = None
+        # shared-memory transport state: the ring list is identity-stable
+        # (the finalizer below holds it) and populated lazily per worker
+        self._rings: List[RingPair] = []
+        self._rings_finalizer: Optional[weakref.finalize] = None
+        self._response_bytes_hint = 0
+        self._active_staging: Optional[ShmStaging] = None
 
     @property
     def naturalness(self) -> Optional[NaturalnessScorer]:
@@ -347,7 +454,7 @@ class ShardedQueryEngine(BatchedQueryEngine):
     # overridden physical execution
     # ------------------------------------------------------------------ #
     def _predict_proba_chunked(self, x: np.ndarray) -> np.ndarray:
-        return self._dispatch(_worker_predict_proba, _shard_predict_proba, (x,), 0)
+        return self._dispatch("proba", (x,))
 
     def loss_input_gradient(self, x: np.ndarray, y: np.ndarray) -> np.ndarray:
         """Sharded input gradients (same chunk scaling note as the base class)."""
@@ -357,7 +464,7 @@ class ShardedQueryEngine(BatchedQueryEngine):
         self._absorb(QueryStats(gradient_rows=n))
         if n == 0:
             return np.zeros_like(x)
-        return self._dispatch(_worker_gradient, _shard_gradient, (x, y), 0)
+        return self._dispatch("grad", (x, y))
 
     def score_naturalness(self, x: np.ndarray) -> np.ndarray:
         """Sharded naturalness scores for every row."""
@@ -368,29 +475,32 @@ class ShardedQueryEngine(BatchedQueryEngine):
         self._absorb(QueryStats(naturalness_rows=n))
         if n == 0:
             return np.zeros(0)
-        return self._dispatch(_worker_naturalness, _shard_naturalness, (x,), 1)
+        return self._dispatch("nat", (x,))
 
     # ------------------------------------------------------------------ #
     # dispatch machinery
     # ------------------------------------------------------------------ #
-    def _dispatch(
-        self,
-        worker_fn,
-        local_fn,
-        arrays: Tuple[np.ndarray, ...],
-        replica_slot: int,
-    ) -> np.ndarray:
+    def _call_transport(self, arrays: Tuple[np.ndarray, ...]) -> str:
+        """Resolve the transport for one logical call (``auto`` by block size)."""
+        if self.transport != "auto":
+            return self.transport
+        rows = min(self.batch_size, len(arrays[0]))
+        return resolve_auto_transport(request_block_bytes(arrays, rows))
+
+    def _dispatch(self, kind: str, arrays: Tuple[np.ndarray, ...]) -> np.ndarray:
         """Run one logical call: plan shards, execute, merge stats, reassemble.
 
-        ``worker_fn`` runs against the pool replica, ``local_fn`` against the
-        coordinator's own model/scorer (the ``num_workers == 1`` path and
-        the degradation fallback); both return ``(values, per_shard_stats)``.
+        ``kind`` selects the shard computation (see :data:`_SHARD_KINDS`);
+        the same computation backs the pool replicas, the thread replicas
+        and the coordinator's in-process fallback (the ``num_workers == 1``
+        path and the degradation fallback).
         """
         shards = plan_shards(len(arrays[0]), self.batch_size, self.num_workers)
+        shard_fn, replica_slot = _SHARD_KINDS[kind]
         subject = self.model if replica_slot == 0 else self.naturalness
 
         def run_local(shard: Shard) -> Tuple[np.ndarray, QueryStats]:
-            return local_fn(subject, *(a[shard.start : shard.stop] for a in arrays))
+            return shard_fn(subject, *(a[shard.start : shard.stop] for a in arrays))
 
         if self.num_workers == 1:
             pieces: List[np.ndarray] = []
@@ -400,14 +510,29 @@ class ShardedQueryEngine(BatchedQueryEngine):
                 pieces.append(values)
         else:
             pools, supervisor = self._ensure_workers()
+            transport = self._call_transport(arrays)
+            staging = (
+                self._prepare_staging(shards, arrays)
+                if transport == "shm"
+                else None
+            )
+            task_fn = _thread_shard if transport == "threads" else _worker_shard
 
             def submit(worker: int, shard: Shard):
-                # supervised dispatch: the supervisor is the only consumer of
-                # this closure and harvests every future with a deadline
+                slices = tuple(a[shard.start : shard.stop] for a in arrays)
+                if staging is not None:
+                    envelope = staging.stage(worker, shard.index, slices)
+                    if envelope is not None:
+                        # zero-copy path: the block is already in the ring;
+                        # only the envelope rides the pool (supervised
+                        # dispatch: the supervisor harvests every future
+                        # with a deadline)
+                        return pools[worker].submit(  # repro: allow[timeout-discipline]
+                            _worker_shard_shm, kind, shard.index, envelope
+                        )
+                # pickle/thread wire (and the staged-slot-exhausted fallback)
                 return pools[worker].submit(  # repro: allow[timeout-discipline]
-                    worker_fn,
-                    shard.index,
-                    *(a[shard.start : shard.stop] for a in arrays),
+                    task_fn, kind, shard.index, *slices
                 )
 
             # the supervisor gathers in shard order, re-plans lost shards
@@ -415,8 +540,59 @@ class ShardedQueryEngine(BatchedQueryEngine):
             # workers — concatenation, and therefore every campaign outcome,
             # is independent of which worker finishes first *and* of which
             # workers survived
-            pieces = supervisor.execute(shards, submit, run_local)
+            try:
+                pieces = supervisor.execute(
+                    shards,
+                    submit,
+                    run_local,
+                    decode=staging.decode if staging is not None else None,
+                )
+            finally:
+                if staging is not None:
+                    self._response_bytes_hint = max(
+                        self._response_bytes_hint, staging.response_bytes_needed
+                    )
+                    with self._lock:
+                        self._active_staging = None
+                if supervisor.degraded:
+                    # the pool is gone for good: nothing will ever read the
+                    # rings again, so unlink the segments now rather than
+                    # holding shared memory for the in-process remainder
+                    release_rings(self._rings)
         return pieces[0] if len(pieces) == 1 else np.concatenate(pieces, axis=0)
+
+    def _prepare_staging(
+        self, shards: Sequence[Shard], arrays: Tuple[np.ndarray, ...]
+    ) -> ShmStaging:
+        """Size the rings for one dispatch and open its slot ledger.
+
+        Runs between dispatches by construction (dispatch is synchronous),
+        so growing a ring can never tear a block out from under a task.
+        """
+        while len(self._rings) < self.num_workers:
+            self._rings.append(RingPair())
+        if self._rings_finalizer is None:
+            self._rings_finalizer = weakref.finalize(self, release_rings, self._rings)
+        rows = min(self.batch_size, len(arrays[0]))
+        request_bytes = max(1, request_block_bytes(arrays, rows))
+        # responses are usually no larger than requests ((rows, classes) vs
+        # (rows, features)); when one overflows its slot it returns inline
+        # (bit-identical, just slower) and the recorded hint grows the rings
+        # at the next dispatch
+        response_bytes = max(request_bytes, self._response_bytes_hint)
+        planned = [0] * self.num_workers
+        for shard in shards:
+            planned[shard.worker] += 1
+        for worker, pair in enumerate(self._rings[: self.num_workers]):
+            pair.ensure(
+                max(planned[worker] + SLOT_HEADROOM, SLOT_HEADROOM),
+                request_bytes,
+                response_bytes,
+            )
+        staging = ShmStaging(self._rings[: self.num_workers])
+        with self._lock:
+            self._active_staging = staging
+        return staging
 
     def _absorb(self, delta: QueryStats) -> None:
         """Race-free merge of a per-shard stats delta into the engine counters.
@@ -430,15 +606,23 @@ class ShardedQueryEngine(BatchedQueryEngine):
         with self._lock:
             self.stats.merge(delta)
 
-    def _spawn_pool(self, index: int) -> ProcessPoolExecutor:
-        """One single-process executor for worker slot ``index``.
+    def _spawn_pool(self, index: int):
+        """One single-worker executor for worker slot ``index``.
 
         Built from the cached replica snapshot, so a respawned slot hosts a
         bit-identical replica of the one that died.  Callers hold the engine
         lock (spawn mutates nothing, but the slot tables it lands in do).
+        Thread transport swaps the process pool for a single-thread pool
+        whose initializer installs a *per-thread* replica.
         """
         # both callers (_ensure_workers, _respawn_worker) hold self._lock,
         # which also guards the replica snapshot these reads consume
+        if self.transport == "threads":
+            return ThreadPoolExecutor(
+                max_workers=1,
+                initializer=_install_thread_worker,
+                initargs=(self._payload, index, self._heartbeat.array, self.faults),  # repro: allow[lock-discipline]
+            )
         return ProcessPoolExecutor(
             max_workers=1,
             mp_context=self._context,  # repro: allow[lock-discipline]
@@ -460,7 +644,7 @@ class ShardedQueryEngine(BatchedQueryEngine):
                     else multiprocessing.get_context()
                 )
                 self._heartbeat = WorkerHeartbeat(self.num_workers, self._context)
-                # one single-process executor per worker keeps the
+                # one single-worker executor per slot keeps the
                 # shard→worker assignment literal: shard i is *always*
                 # executed by pool i%W (until supervision re-plans it)
                 self._pools = [
@@ -481,8 +665,13 @@ class ShardedQueryEngine(BatchedQueryEngine):
 
         The old process is killed outright (it may be hung mid-shard, so a
         cooperative shutdown could block forever) and its executor is torn
-        down; with ``rebuild`` a fresh single-process pool takes over the
-        slot, in place, so the shard→worker tables stay valid.
+        down; with ``rebuild`` a fresh single-worker pool takes over the
+        slot, in place, so the shard→worker tables stay valid.  Ring slots
+        staged on the dead worker are reclaimed here — its process is gone,
+        so no reader or writer of those blocks survives — and the respawned
+        process reattaches to the same segments by name on its next staged
+        shard.  (Thread slots cannot be killed; their executor is replaced
+        and the hung thread is abandoned.)
         """
         with self._lock:
             pools = self._pools
@@ -494,6 +683,8 @@ class ShardedQueryEngine(BatchedQueryEngine):
             for process in list(getattr(old, "_processes", {}).values()):
                 process.kill()
             old.shutdown(wait=False, cancel_futures=True)
+            if self._active_staging is not None:
+                self._active_staging.worker_down(worker)
             if rebuild:
                 pools[worker] = self._spawn_pool(worker)
 
@@ -501,13 +692,14 @@ class ShardedQueryEngine(BatchedQueryEngine):
     # lifecycle
     # ------------------------------------------------------------------ #
     def close(self) -> None:
-        """Shut down the worker pool (idempotent).
+        """Shut down the worker pool and unlink the ring segments (idempotent).
 
         The next dispatch would lazily rebuild the pool from a fresh model
-        snapshot; stats and cache survive closing.  The pool swap shares the
-        engine lock with :meth:`_ensure_workers`, so closing cannot race a
-        concurrent first dispatch into leaking a worker set (closing while
-        another thread has shards in flight is still a caller error).
+        snapshot (and fresh rings); stats and cache survive closing.  The
+        pool swap shares the engine lock with :meth:`_ensure_workers`, so
+        closing cannot race a concurrent first dispatch into leaking a
+        worker set (closing while another thread has shards in flight is
+        still a caller error).
         """
         with self._lock:
             pools, self._pools = self._pools, None
@@ -515,11 +707,13 @@ class ShardedQueryEngine(BatchedQueryEngine):
             self._heartbeat = None
             self._payload = None
             self._context = None
+            self._active_staging = None
             if self._finalizer is not None:
                 self._finalizer.detach()
                 self._finalizer = None
         if pools is not None:
             _shutdown_pools(pools)
+        release_rings(self._rings)
 
 
 # --------------------------------------------------------------------------- #
@@ -549,6 +743,7 @@ def build_query_engine(
     engine: str = "batched",
     num_workers: int = 1,
     start_method: Optional[str] = None,
+    transport: str = "auto",
 ) -> BatchedQueryEngine:
     """Build the requested engine backend (or pass an existing engine through).
 
@@ -560,6 +755,7 @@ def build_query_engine(
     cache and one worker pool.
     """
     validate_engine_knobs(engine, num_workers)
+    validate_transport(transport)
     if engine == "sharded" and not isinstance(model, BatchedQueryEngine):
         return ShardedQueryEngine(
             model,
@@ -569,6 +765,7 @@ def build_query_engine(
             cache_max_entries=cache_max_entries,
             num_workers=num_workers,
             start_method=start_method,
+            transport=transport,
         )
     # pass-through (with scorer injection) and batched construction both
     # live in as_query_engine — one funnel, not two copies of the rule

@@ -1,0 +1,401 @@
+"""Shard transports: how row blocks travel between coordinator and workers.
+
+The PR 3 sharded engine moved *computation* off the coordinator but kept the
+payloads on the pickle wire: every shard pickled its float64 row block into
+the pool, and every result pickled its way back.  ``BENCH_fuzzer.json``
+showed what that costs — multi-worker campaigns *lost* to the in-process
+engine (~0.6x at 4 workers) because per-chunk serialization dominated the
+compute it was supposed to parallelise.  This module is the fix: the shard
+*metadata* (index, slot, shapes, dtypes — a few hundred bytes) still rides
+the pool, but the row blocks themselves move through preallocated
+:mod:`multiprocessing.shared_memory` ring buffers, written once by the
+coordinator and read zero-copy by the worker (and vice versa for results).
+
+Three transports exist, selected by ``ExecutionPolicy.transport``:
+
+``"pickle"``
+    The PR 3 wire format: blocks pickled per task.  No shared state, works
+    everywhere, fastest for tiny blocks (the serialization cost is linear in
+    block size, the shared-memory bookkeeping is not free).
+``"shm"``
+    Ring-buffer transport.  Each worker slot owns a request ring and a
+    response ring, each a preallocated shared-memory segment divided into
+    fixed-size slots.  The coordinator writes a shard's block into a free
+    request slot and submits only a tiny :class:`ShardEnvelope`; the worker
+    maps the segment once (reattaching lazily after a respawn), computes on
+    a zero-copy view, writes the result into the paired response slot, and
+    returns just ``(shape, dtype)``.  Slots are reused ring-style across
+    dispatches; a result too large for its slot falls back to the pickle
+    wire for that one task (bit-identical either way) and the rings grow at
+    the next dispatch.
+``"threads"``
+    In-process thread pool: per-thread pickled model replicas (so layer
+    caches never race), zero IPC of any kind.  Pays off for GIL-releasing
+    BLAS models on small campaigns where process transport overhead — not
+    compute — dominates.
+
+``"auto"`` (the policy default) picks per logical call: blocks of at least
+:data:`SHM_MIN_BLOCK_BYTES` go zero-copy, smaller ones stay on the pickle
+wire.  Thread workers are never chosen implicitly — they change the failure
+domain (a hung thread cannot be SIGKILLed), so they are an explicit opt-in.
+
+Transport never changes results: every transport moves the *same* chunk
+boundaries carrying the same bytes, so the bit-identity contract of
+:mod:`repro.engine.parallel` holds for all of them — the transport matrix in
+``tests/test_parallel_engine.py`` pins it.
+
+Torn reads are impossible by construction rather than by locking: a request
+slot is written before its task is submitted (the submission is the
+happens-before edge) and never rewritten while that task may still read it
+(slots are freed only when the task's future was harvested, or when its
+worker was confirmed dead and its process killed); a response slot is
+written by exactly one live task and read by the coordinator only after the
+future completed.  The race-hammer and property tests pin slot reuse.
+"""
+
+from __future__ import annotations
+
+import atexit
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+
+#: Transport names accepted by ``ExecutionPolicy.transport`` (and the
+#: engine's ``transport`` knob).  ``"auto"`` resolves per logical call.
+TRANSPORTS = ("auto", "pickle", "shm", "threads")
+
+#: ``auto`` threshold: request blocks at least this large (64 KiB) move
+#: through shared memory; below it the pickle wire is cheaper than the
+#: slot bookkeeping.
+SHM_MIN_BLOCK_BYTES = 1 << 16
+
+#: Spare slots per worker beyond its planned shards — headroom for shards
+#: re-planned onto survivors after a worker death.  When even the headroom
+#: is exhausted mid-storm, staging falls back to the pickle wire per task.
+SLOT_HEADROOM = 2
+
+#: Slot-internal alignment of packed arrays (cache-line sized).
+_ALIGN = 64
+
+
+def validate_transport(transport: str, exception: type = ConfigurationError) -> None:
+    """Reject unknown transport names with the accepted set."""
+    if transport not in TRANSPORTS:
+        raise exception(
+            f"transport must be one of {TRANSPORTS}, got {transport!r}"
+        )
+
+
+def resolve_auto_transport(block_bytes: int) -> str:
+    """The ``auto`` heuristic: zero-copy for large blocks, pickle for small."""
+    return "shm" if block_bytes >= SHM_MIN_BLOCK_BYTES else "pickle"
+
+
+def _aligned(nbytes: int) -> int:
+    return (nbytes + _ALIGN - 1) // _ALIGN * _ALIGN
+
+
+def request_block_bytes(arrays: Sequence[np.ndarray], rows: int) -> int:
+    """Bytes one ``rows``-row shard of ``arrays`` occupies when packed."""
+    total = 0
+    for array in arrays:
+        per_row = array.itemsize * int(np.prod(array.shape[1:], dtype=np.int64))
+        total += _aligned(per_row * rows)
+    return total
+
+
+@dataclass(frozen=True)
+class ShardEnvelope:
+    """The tiny metadata that replaces a pickled row block on the pool wire.
+
+    Attributes
+    ----------
+    request_name, request_entries:
+        Segment name and packed-array table (``(offset, shape, dtype)`` per
+        array) of the staged request block.
+    response_name, response_offset, response_capacity:
+        Where the worker must place the result (and how much room it has —
+        an oversized result returns inline over the pickle wire instead).
+    """
+
+    request_name: str
+    request_entries: Tuple[Tuple[int, Tuple[int, ...], str], ...]
+    response_name: str
+    response_offset: int
+    response_capacity: int
+
+
+class ShmRing:
+    """One worker's one-direction ring: a shared segment of fixed-size slots.
+
+    The coordinator owns the segment (creates, grows, unlinks); workers only
+    ever attach and read/write inside a slot handed to them by envelope.
+    ``ensure`` is grow-only and must run with no shard in flight (the engine
+    calls it between dispatches), so reallocating can never tear a block out
+    from under a reader.
+    """
+
+    def __init__(self) -> None:
+        self.shm: Optional[shared_memory.SharedMemory] = None
+        self.slots = 0
+        self.slot_bytes = 0
+
+    @property
+    def name(self) -> str:
+        if self.shm is None:  # pragma: no cover - guarded by callers
+            raise ConfigurationError("ring has no segment (ensure() not called)")
+        return self.shm.name
+
+    def ensure(self, slots: int, slot_bytes: int) -> None:
+        """Guarantee capacity for ``slots`` slots of ``slot_bytes`` each.
+
+        Growing replaces the segment (old one unlinked) — only legal between
+        dispatches, when no task holds a view into it.
+        """
+        if slots <= 0 or slot_bytes <= 0:
+            raise ConfigurationError("ring capacity must be positive")
+        slot_bytes = _aligned(slot_bytes)
+        if self.shm is not None and self.slots >= slots and self.slot_bytes >= slot_bytes:
+            return
+        slots = max(slots, self.slots)
+        slot_bytes = max(slot_bytes, self.slot_bytes)
+        self.release()
+        # lifecycle is owned by release() (paired close+unlink, called from
+        # the engine's close/degrade paths and its weakref finalizer)
+        self.shm = shared_memory.SharedMemory(  # repro: allow[shm-lifecycle]
+            create=True, size=slots * slot_bytes
+        )
+        self.slots = slots
+        self.slot_bytes = slot_bytes
+
+    def write(
+        self, slot: int, arrays: Sequence[np.ndarray]
+    ) -> Tuple[Tuple[int, Tuple[int, ...], str], ...]:
+        """Pack ``arrays`` into ``slot``; returns the envelope entry table."""
+        base = slot * self.slot_bytes
+        offset = base
+        entries: List[Tuple[int, Tuple[int, ...], str]] = []
+        for array in arrays:
+            array = np.ascontiguousarray(array)
+            if offset + array.nbytes > base + self.slot_bytes:
+                raise ConfigurationError(
+                    f"shard block ({array.nbytes} B at offset {offset - base}) "
+                    f"does not fit a {self.slot_bytes} B ring slot"
+                )
+            view = np.ndarray(array.shape, dtype=array.dtype, buffer=self.shm.buf, offset=offset)
+            view[...] = array
+            entries.append((offset, tuple(array.shape), array.dtype.str))
+            offset += _aligned(array.nbytes)
+        return tuple(entries)
+
+    def read_copy(self, offset: int, shape: Tuple[int, ...], dtype: str) -> np.ndarray:
+        """Copy one packed array out of the segment (the harvest-side read)."""
+        view = np.ndarray(shape, dtype=np.dtype(dtype), buffer=self.shm.buf, offset=offset)
+        return np.array(view, copy=True)
+
+    def release(self) -> None:
+        """Unlink and forget the segment (idempotent)."""
+        if self.shm is not None:
+            try:
+                self.shm.close()
+                self.shm.unlink()
+            except FileNotFoundError:  # pragma: no cover - already unlinked
+                pass
+            self.shm = None
+        self.slots = 0
+        self.slot_bytes = 0
+
+
+class RingPair:
+    """Request + response rings of one worker slot (equal slot counts)."""
+
+    def __init__(self) -> None:
+        self.request = ShmRing()
+        self.response = ShmRing()
+
+    def ensure(self, slots: int, request_bytes: int, response_bytes: int) -> None:
+        self.request.ensure(slots, request_bytes)
+        self.response.ensure(slots, response_bytes)
+
+    def release(self) -> None:
+        self.request.release()
+        self.response.release()
+
+
+def release_rings(rings: Sequence[RingPair]) -> None:
+    """Unlink every ring segment (engine close/degrade + finalizer hook)."""
+    for pair in rings:
+        pair.release()
+
+
+class ShmStaging:
+    """Per-dispatch slot ledger over the engine's preallocated rings.
+
+    Stateful only for one logical call: which shard occupies which slot on
+    which worker.  A slot is freed when its shard's result was decoded
+    (copied out) or when its worker was confirmed dead — the two events
+    after which no live process can touch the block.  ``stage`` returning
+    ``None`` (free list empty under a pathological retry storm) tells the
+    engine to fall back to the pickle wire for that one task.
+    """
+
+    def __init__(self, rings: Sequence[RingPair]) -> None:
+        self.rings = list(rings)
+        self._free: List[List[int]] = [
+            list(range(pair.request.slots)) for pair in self.rings
+        ]
+        #: shard index -> (worker, slot) of the currently staged attempt
+        self._staged: Dict[int, Tuple[int, int]] = {}
+        #: largest response that failed to fit its slot (sizing hint for the
+        #: engine's next dispatch); 0 when everything fit
+        self.response_bytes_needed = 0
+
+    def stage(
+        self, worker: int, shard_index: int, arrays: Sequence[np.ndarray]
+    ) -> Optional[ShardEnvelope]:
+        """Write one shard's block into a free slot; ``None`` when exhausted."""
+        free = self._free[worker]
+        if not free:
+            return None
+        pair = self.rings[worker]
+        slot = free.pop()
+        entries = pair.request.write(slot, arrays)
+        self._staged[shard_index] = (worker, slot)
+        return ShardEnvelope(
+            request_name=pair.request.name,
+            request_entries=entries,
+            response_name=pair.response.name,
+            response_offset=slot * pair.response.slot_bytes,
+            response_capacity=pair.response.slot_bytes,
+        )
+
+    def _release_slot(self, shard_index: int) -> None:
+        placed = self._staged.pop(shard_index, None)
+        if placed is not None:
+            worker, slot = placed
+            self._free[worker].append(slot)
+
+    def worker_down(self, worker: int) -> None:
+        """Free every slot staged on a worker whose process was killed.
+
+        Safe because the engine SIGKILLs the slot's process before this runs:
+        no reader or writer of those blocks survives.
+        """
+        for shard_index, (owner, _slot) in list(self._staged.items()):
+            if owner == worker:
+                self._release_slot(shard_index)
+
+    def decode(self, shard, payload):
+        """Materialise one harvested result (the supervisor's decode hook).
+
+        ``payload`` is whatever the task returned: a plain ndarray (pickle
+        fallback task), ``("inline", values)`` (a staged task whose result
+        did not fit its response slot) or ``("shm", (offset, shape, dtype))``
+        (the zero-copy path — copied out of the response ring here, after
+        which the slot is free for reuse).
+        """
+        if isinstance(payload, np.ndarray):
+            self._release_slot(shard.index)
+            return payload
+        tag, body = payload
+        if tag == "inline":
+            self.response_bytes_needed = max(
+                self.response_bytes_needed, int(np.asarray(body).nbytes)
+            )
+            self._release_slot(shard.index)
+            return body
+        offset, shape, dtype = body
+        placed = self._staged.get(shard.index)
+        if placed is None:  # pragma: no cover - defensive: decode of unstaged shard
+            raise ConfigurationError(f"shard {shard.index} has no staged slot")
+        worker, _slot = placed
+        values = self.rings[worker].response.read_copy(offset, shape, dtype)
+        self._release_slot(shard.index)
+        return values
+
+
+# --------------------------------------------------------------------------- #
+# worker-process side
+# --------------------------------------------------------------------------- #
+#: Worker-side attachment cache, name -> segment.  Each worker touches at
+#: most two live segments (its request and response rings), so the cache is
+#: kept small: attaching a new name evicts the least recently used handles
+#: beyond a small slack (segments replaced when the coordinator grew a ring).
+_WORKER_ATTACHMENT_SLACK = 4
+_WORKER_ATTACHMENTS: Dict[str, shared_memory.SharedMemory] = {}
+
+
+def _close_worker_attachments() -> None:
+    for segment in _WORKER_ATTACHMENTS.values():
+        try:
+            segment.close()
+        except OSError:  # pragma: no cover - teardown best effort
+            pass
+    _WORKER_ATTACHMENTS.clear()
+
+
+atexit.register(_close_worker_attachments)
+
+
+def attach_segment(name: str) -> shared_memory.SharedMemory:
+    """Attach (or reuse) a coordinator-owned segment by name.
+
+    Workers never unlink — the coordinator owns segment lifecycle; a worker
+    only maps and unmaps.  A respawned worker process starts with an empty
+    cache and reattaches here on its first staged shard.
+    """
+    segment = _WORKER_ATTACHMENTS.pop(name, None)
+    if segment is None:
+        # close-only lifecycle: unlink belongs to the coordinator, close of
+        # this attachment happens on eviction below and atexit
+        segment = shared_memory.SharedMemory(name=name)  # repro: allow[shm-lifecycle]
+    _WORKER_ATTACHMENTS[name] = segment  # reinsert = move to MRU position
+    while len(_WORKER_ATTACHMENTS) > _WORKER_ATTACHMENT_SLACK:
+        _stale_name = next(iter(_WORKER_ATTACHMENTS))
+        _WORKER_ATTACHMENTS.pop(_stale_name).close()
+    return segment
+
+
+def read_request(envelope: ShardEnvelope) -> Tuple[np.ndarray, ...]:
+    """Zero-copy views of a staged request block (worker side)."""
+    segment = attach_segment(envelope.request_name)
+    return tuple(
+        np.ndarray(shape, dtype=np.dtype(dtype), buffer=segment.buf, offset=offset)
+        for offset, shape, dtype in envelope.request_entries
+    )
+
+
+def write_response(envelope: ShardEnvelope, values: np.ndarray):
+    """Place a result into the response slot; inline payload when oversized."""
+    values = np.ascontiguousarray(values)
+    if values.nbytes > envelope.response_capacity:
+        return ("inline", values)
+    segment = attach_segment(envelope.response_name)
+    view = np.ndarray(
+        values.shape, dtype=values.dtype, buffer=segment.buf,
+        offset=envelope.response_offset,
+    )
+    view[...] = values
+    return ("shm", (envelope.response_offset, tuple(values.shape), values.dtype.str))
+
+
+__all__ = [
+    "TRANSPORTS",
+    "SHM_MIN_BLOCK_BYTES",
+    "SLOT_HEADROOM",
+    "validate_transport",
+    "resolve_auto_transport",
+    "request_block_bytes",
+    "ShardEnvelope",
+    "ShmRing",
+    "RingPair",
+    "release_rings",
+    "ShmStaging",
+    "attach_segment",
+    "read_request",
+    "write_response",
+]

@@ -207,13 +207,16 @@ class ShardSupervisor:
         pieces[shard.index] = values
 
     # -- the dispatch loop ------------------------------------------------- #
-    def execute(self, shards: Sequence, submit, run_local) -> List:
+    def execute(self, shards: Sequence, submit, run_local, decode=None) -> List:
         """Run every shard to completion, supervising the pool.
 
         ``submit(worker, shard)`` dispatches one shard to one worker slot
         and returns its future; ``run_local(shard)`` executes it in-process
-        (the degradation fallback).  Returns the shard values in shard
-        order.
+        (the degradation fallback).  ``decode(shard, payload)``, when given,
+        materialises a payload harvested *from a worker* (the shared-memory
+        transport copies results out of its response ring here — the point
+        after which the slot is safe to reuse); in-process fallback values
+        never pass through it.  Returns the shard values in shard order.
         """
         pieces: List = [None] * len(shards)
         if self.degraded:
@@ -270,7 +273,9 @@ class ShardSupervisor:
         for shard in shards:
             while pieces[shard.index] is None:
                 if self.degraded:
-                    self._harvest_or_degrade(shard, futures, assigned, run_local, pieces)
+                    self._harvest_or_degrade(
+                        shard, futures, assigned, run_local, pieces, decode
+                    )
                     continue
                 future = futures.get(shard.index)
                 if future is None:
@@ -293,10 +298,14 @@ class ShardSupervisor:
                     reclaim(worker)
                 else:
                     self._absorb(delta)
-                    pieces[shard.index] = values
+                    pieces[shard.index] = (
+                        decode(shard, values) if decode is not None else values
+                    )
         return pieces
 
-    def _harvest_or_degrade(self, shard, futures, assigned, run_local, pieces) -> None:
+    def _harvest_or_degrade(
+        self, shard, futures, assigned, run_local, pieces, decode=None
+    ) -> None:
         """Degraded-mode finish for one shard: use a live result if present.
 
         Work already in flight on healthy workers is harvested (identical
@@ -311,7 +320,9 @@ class ShardSupervisor:
                 self._worker_down(worker, reason="lost while degrading")
             else:
                 self._absorb(delta)
-                pieces[shard.index] = values
+                pieces[shard.index] = (
+                    decode(shard, values) if decode is not None else values
+                )
                 return
         self._run_degraded(shard, run_local, pieces)
 

@@ -157,6 +157,7 @@ class ReplicatedBackend(ShardedQueryEngine):
             cache_max_entries=policy.cache_max_entries,
             num_workers=policy.num_workers,
             start_method=policy.start_method,
+            transport=policy.transport,
             retry=policy.retry,
             faults=policy.faults,
         )

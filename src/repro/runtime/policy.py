@@ -36,6 +36,7 @@ from typing import TYPE_CHECKING, Dict, Iterator, Mapping, Optional, Tuple, Unio
 
 from ..config import RngLike, spawn_rngs
 from ..engine.batching import DEFAULT_BATCH_SIZE, BatchedQueryEngine, as_query_engine
+from ..engine.transport import validate_transport
 from ..exceptions import ConfigurationError
 from ..faults.injection import FaultPlan
 from ..faults.retry import RetryPolicy
@@ -65,6 +66,14 @@ class ExecutionPolicy:
         processes).
     num_workers:
         Worker processes for replicated backends; ``1`` stays in-process.
+    transport:
+        How replicated backends move row blocks to their workers:
+        ``"pickle"`` (per-task pickling), ``"shm"`` (zero-copy
+        shared-memory ring buffers), ``"threads"`` (in-process thread pool
+        with per-thread replicas) or ``"auto"`` (default: pickle vs shm per
+        logical call by block size).  Ignored by in-process backends.
+        Transport never changes logical results — see
+        :mod:`repro.engine.transport`.
     batch_size:
         Maximum rows per physical model call.
     cache:
@@ -101,6 +110,7 @@ class ExecutionPolicy:
 
     backend: str = "batched"
     num_workers: int = 1
+    transport: str = "auto"
     batch_size: int = DEFAULT_BATCH_SIZE
     cache: bool = False
     cache_max_entries: int = 65536
@@ -115,6 +125,7 @@ class ExecutionPolicy:
         resolve_backend(self.backend)  # fails loudly on unknown names
         if self.num_workers <= 0:
             raise ConfigurationError("num_workers must be positive")
+        validate_transport(self.transport)
         if self.batch_size <= 0:
             raise ConfigurationError("batch_size must be positive")
         if not isinstance(self.cache, bool):

@@ -7,8 +7,10 @@ answered.  :class:`PersistentQueryCache` is the durable drop-in: it implements
 the :class:`repro.engine.CacheBackend` protocol over an HSDS-style chunked
 on-disk layout —
 
-* **content-addressed keys** — entries are addressed by a digest of the raw
-  row bytes; the full key bytes are stored alongside the value and verified
+* **content-addressed keys** — entries are addressed by a digest of the
+  dtype/shape-tagged row bytes (:func:`repro.engine.batching.row_cache_key`,
+  shared with the in-memory cache so the two layers agree on row identity);
+  the full key bytes are stored alongside the value and verified
   on every read, so a hit returns exactly the probabilities the model
   produced (never an approximation, never a digest collision);
 * **append-only segment files** — each writer process appends records to its
@@ -50,6 +52,7 @@ from typing import Dict, Optional, Tuple, Union
 
 import numpy as np
 
+from ..engine.batching import row_cache_key
 from ..exceptions import StoreError
 
 #: Magic bytes opening every record; bumping the version invalidates old files
@@ -134,7 +137,7 @@ class PersistentQueryCache:
         return len(self._index)
 
     def get(self, row: np.ndarray) -> Optional[np.ndarray]:
-        key = np.ascontiguousarray(row).tobytes()
+        key = row_cache_key(row)
         digest = _digest(key)
         located = self._index.get(digest)
         if located is None:
@@ -159,7 +162,7 @@ class PersistentQueryCache:
         return _decode_value(record[1])
 
     def put(self, row: np.ndarray, value: np.ndarray) -> None:
-        key = np.ascontiguousarray(row).tobytes()
+        key = row_cache_key(row)
         digest = _digest(key)
         if digest in self._index:
             return  # content-addressed: identical rows are stored once

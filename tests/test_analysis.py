@@ -47,9 +47,10 @@ def dedent(snippet: str) -> str:
 # registry / framework
 # --------------------------------------------------------------------------- #
 class TestFramework:
-    def test_six_rules_registered(self):
+    def test_seven_rules_registered(self):
         assert sorted(registered_rules()) == [
             "REP001", "REP002", "REP003", "REP004", "REP005", "REP006",
+            "REP007",
         ]
 
     def test_default_rules_are_fresh_instances_in_id_order(self):
@@ -443,6 +444,110 @@ class TestTimeoutDiscipline:
     def test_faults_layer_exempt(self):
         source = "value = future.result()\n"
         assert analyze_source(source, "src/repro/faults/supervision.py") == []
+
+
+# --------------------------------------------------------------------------- #
+# REP007 — shm-lifecycle
+# --------------------------------------------------------------------------- #
+class TestShmLifecycleRule:
+    def test_bare_creation_flagged(self):
+        findings = analyze_source(
+            "segment = SharedMemory(create=True, size=1024)\n", APP_PATH
+        )
+        assert [(f.rule, f.name) for f in findings] == [("REP007", "shm-lifecycle")]
+        assert "outlives the process" in findings[0].message
+
+    def test_attribute_call_flagged(self):
+        source = dedent(
+            """
+            def open_ring(name):
+                return shared_memory.SharedMemory(name=name)
+            """
+        )
+        findings = analyze_source(source, APP_PATH)
+        assert [f.rule for f in findings] == ["REP007"]
+
+    def test_context_manager_clean(self):
+        source = dedent(
+            """
+            def use(name):
+                with SharedMemory(name=name) as segment:
+                    return bytes(segment.buf[:4])
+            """
+        )
+        assert analyze_source(source, APP_PATH) == []
+
+    def test_try_finally_cleanup_clean(self):
+        source = dedent(
+            """
+            def roundtrip(data):
+                segment = SharedMemory(create=True, size=len(data))
+                try:
+                    segment.buf[: len(data)] = data
+                    return bytes(segment.buf[: len(data)])
+                finally:
+                    segment.close()
+                    segment.unlink()
+            """
+        )
+        assert analyze_source(source, APP_PATH) == []
+
+    def test_finally_without_cleanup_still_flagged(self):
+        source = dedent(
+            """
+            def leaky(data):
+                segment = SharedMemory(create=True, size=len(data))
+                try:
+                    return bytes(segment.buf[: len(data)])
+                finally:
+                    log.info("done")
+            """
+        )
+        findings = analyze_source(source, APP_PATH)
+        assert [f.rule for f in findings] == ["REP007"]
+
+    def test_creation_inside_finally_not_protected_by_it(self):
+        source = dedent(
+            """
+            def weird():
+                try:
+                    pass
+                finally:
+                    segment = SharedMemory(create=True, size=8)
+                    segment.close()
+            """
+        )
+        findings = analyze_source(source, APP_PATH)
+        assert [f.rule for f in findings] == ["REP007"]
+
+    def test_cleanup_in_enclosing_scope_does_not_bless_nested_function(self):
+        # the creation's cleanup must live in the *same* function scope
+        source = dedent(
+            """
+            def outer():
+                try:
+                    def inner():
+                        return SharedMemory(create=True, size=8)
+                    return inner()
+                finally:
+                    cleanup.close()
+            """
+        )
+        findings = analyze_source(source, APP_PATH)
+        assert [f.rule for f in findings] == ["REP007"]
+
+    def test_pragma_documents_ownership_transfer(self):
+        source = dedent(
+            """
+            def attach(name):
+                # close happens on cache eviction — repro: allow[shm-lifecycle]
+                return SharedMemory(name=name)  # repro: allow[shm-lifecycle]
+            """
+        )
+        assert analyze_source(source, APP_PATH) == []
+
+    def test_unrelated_constructors_clean(self):
+        assert analyze_source("pool = SharedPool(create=True)\n", APP_PATH) == []
 
 
 # --------------------------------------------------------------------------- #

@@ -68,6 +68,40 @@ class TestBatchedQueryEngine:
         assert cache.get(rows[0]) is None  # oldest entry evicted
         assert cache.get(rows[3]) is not None
 
+    def test_cache_overwrite_does_not_evict(self):
+        # regression: a put of an already-present key used to evict an
+        # unrelated entry once the cache was full
+        cache = QueryCache(max_entries=3)
+        rows = np.eye(3)
+        for i, row in enumerate(rows):
+            cache.put(row, np.array([float(i)]))
+        assert len(cache) == 3
+        cache.put(rows[2], np.array([42.0]))  # overwrite at capacity
+        assert len(cache) == 3
+        for row in rows:  # every key survived the overwrite
+            assert cache.get(row) is not None
+        np.testing.assert_array_equal(cache.get(rows[2]), [42.0])
+
+    def test_cache_keys_tag_dtype_and_shape(self):
+        # regression: raw tobytes() keys collided across dtype/shape — the
+        # float32 pair [1, 2] and the float64 scalar row with the same byte
+        # pattern must be distinct entries, never serve each other's values
+        cache = QueryCache(max_entries=16)
+        row64 = np.array([1.0, 2.0])
+        row32 = np.frombuffer(row64.tobytes(), dtype=np.float32)
+        assert row64.tobytes() == row32.tobytes()  # the collision precondition
+        cache.put(row64, np.array([0.25]))
+        assert cache.get(row32) is None  # different dtype: a miss, not a hit
+        cache.put(row32, np.array([0.75]))
+        assert len(cache) == 2
+        np.testing.assert_array_equal(cache.get(row64), [0.25])
+        np.testing.assert_array_equal(cache.get(row32), [0.75])
+        # same bytes, same dtype, different shape must not collide either
+        flat = np.zeros(4)
+        square = np.zeros((2, 2))
+        cache.put(flat, np.array([1.0]))
+        assert cache.get(square) is None
+
     def test_naturalness_scoring_chunked(self, trained_cluster_model, cluster_naturalness, engine_inputs):
         x, _ = engine_inputs
         engine = BatchedQueryEngine(

@@ -11,6 +11,7 @@ from hypothesis.extra.numpy import arrays
 from repro.config import clip01, ensure_rng
 from repro.data import Dataset, GridPartition
 from repro.engine import BatchedQueryEngine, QueryStats, plan_shards
+from repro.engine.transport import ShmRing, request_block_bytes
 from repro.exceptions import ConfigurationError
 from repro.faults import reassign_worker, replan
 from repro.fuzzing import FuzzerConfig, OperationalFuzzer
@@ -317,6 +318,99 @@ class TestEngineShardingProperties:
         for _ in shards:
             merged.merge(QueryStats(gradient_calls=1))
         assert merged.as_dict() == single.stats.as_dict()
+
+
+# --------------------------------------------------------------------------- #
+# shared-memory ring transport
+# --------------------------------------------------------------------------- #
+class TestShmRingProperties:
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=1, max_value=12),
+                st.integers(min_value=1, max_value=6),
+                st.sampled_from(["<f8", "<f4", "<i8"]),
+            ),
+            min_size=1,
+            max_size=3,
+        ),
+        st.integers(min_value=0, max_value=2_000_000_000),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_write_read_roundtrip_is_bit_exact(self, specs, seed):
+        """Any block packed into a slot is read back bit-identically.
+
+        Mixed shapes and dtypes in one slot — the gradient path stages
+        ``(x, y)`` with different dtypes — and the envelope entry table must
+        describe exactly what was written.
+        """
+        rng = np.random.default_rng(seed)
+        blocks = [
+            (rng.random((rows, cols)) * 100).astype(np.dtype(dtype))
+            for rows, cols, dtype in specs
+        ]
+        ring = ShmRing()
+        try:
+            ring.ensure(slots=1, slot_bytes=request_block_bytes(blocks, max(
+                block.shape[0] for block in blocks
+            )) or 1)
+            entries = ring.write(0, blocks)
+            assert len(entries) == len(blocks)
+            for block, (offset, shape, dtype) in zip(blocks, entries):
+                assert shape == block.shape
+                assert np.dtype(dtype) == block.dtype
+                np.testing.assert_array_equal(
+                    ring.read_copy(offset, shape, dtype), block
+                )
+        finally:
+            ring.release()
+
+    @given(
+        st.integers(min_value=1, max_value=6),
+        st.lists(st.integers(min_value=0, max_value=5), min_size=1, max_size=24),
+        st.integers(min_value=0, max_value=2_000_000_000),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_slot_reuse_never_leaks_between_slots(self, slots, writes, seed):
+        """Rewriting slots in any order never corrupts other slots' blocks.
+
+        The transport reuses slots ring-style across dispatches; whatever
+        interleaving of writes occurs, each slot's latest block must read
+        back exactly, untouched by every other slot's traffic.
+        """
+        rng = np.random.default_rng(seed)
+        ring = ShmRing()
+        try:
+            ring.ensure(slots=slots, slot_bytes=8 * 4 * 8)
+            latest = {}
+            for target in writes:
+                slot = target % slots
+                block = rng.random((rng.integers(1, 9), 4))
+                (offset, shape, dtype), = ring.write(slot, [block])
+                latest[slot] = (block, offset, shape, dtype)
+                for block_, offset_, shape_, dtype_ in latest.values():
+                    np.testing.assert_array_equal(
+                        ring.read_copy(offset_, shape_, dtype_), block_
+                    )
+        finally:
+            ring.release()
+
+    @given(
+        st.integers(min_value=1, max_value=64),
+        st.integers(min_value=1, max_value=16),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_grow_only_capacity(self, slots, slot_bytes):
+        ring = ShmRing()
+        try:
+            ring.ensure(slots, slot_bytes)
+            first = (ring.slots, ring.slot_bytes)
+            ring.ensure(1, 1)  # shrinking requests never shrink the ring
+            assert (ring.slots, ring.slot_bytes) == first
+            ring.ensure(slots + 3, slot_bytes)
+            assert ring.slots >= slots + 3
+        finally:
+            ring.release()
 
     @given(
         st.lists(

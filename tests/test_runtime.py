@@ -74,6 +74,7 @@ class TestExecutionPolicy:
         policy = ExecutionPolicy(
             backend="sharded",
             num_workers=3,
+            transport="shm",
             batch_size=128,
             cache=True,
             cache_max_entries=99,
@@ -112,6 +113,7 @@ class TestExecutionPolicy:
         "kwargs",
         [
             {"num_workers": 0},
+            {"transport": "carrier-pigeon"},
             {"batch_size": 0},
             {"cache_max_entries": 0},
             {"checkpoint_every": -1},

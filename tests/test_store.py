@@ -111,6 +111,23 @@ class TestPersistentQueryCache:
         cache.put(row.copy(), np.zeros(2))
         assert len(cache) == 1
 
+    def test_keys_tag_dtype_and_shape(self, tmp_path):
+        # regression: rows with identical bytes but different dtype/shape
+        # must be distinct entries — and the durable cache must agree with
+        # the in-memory QueryCache on row identity (shared row_cache_key)
+        cache = PersistentQueryCache(tmp_path)
+        row64 = np.array([1.0, 2.0])
+        row32 = np.frombuffer(row64.tobytes(), dtype=np.float32)
+        assert row64.tobytes() == row32.tobytes()  # the collision precondition
+        cache.put(row64, np.array([0.25]))
+        assert cache.get(row32) is None  # different dtype: a miss, not a hit
+        cache.put(row32, np.array([0.75]))
+        assert len(cache) == 2
+        np.testing.assert_array_equal(cache.get(row64), [0.25])
+        np.testing.assert_array_equal(cache.get(row32), [0.75])
+        cache.put(np.zeros(4), np.array([1.0]))
+        assert cache.get(np.zeros((2, 2))) is None  # shape is part of the key
+
     def test_entries_survive_reopen(self, tmp_path):
         rng = np.random.default_rng(2)
         rows = rng.random((5, 3))
