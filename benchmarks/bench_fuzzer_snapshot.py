@@ -5,8 +5,11 @@ Runs the same fixed-seed campaign through the sequential reference fuzzer
 black-box attacks, and — since the sharded engine landed — a per-worker,
 per-transport scaling section on a medium (glyph-digit) scenario plus an
 IPC-overhead probe (a no-op model, so the timing isolates shard transport
-cost), and writes ``BENCH_fuzzer.json`` at the repository root so the
-throughput trajectory is tracked across PRs.
+cost), a ``faults`` section (chaos overhead and bit-identity under worker
+kills, see ``bench_faults.py``) and a ``telemetry_overhead`` section
+(observability costs <3% and never perturbs results, see
+``bench_telemetry.py``), and writes ``BENCH_fuzzer.json`` at the repository
+root so the throughput trajectory is tracked across PRs.
 
 Usage::
 
@@ -36,6 +39,7 @@ import numpy as np
 # module search path
 sys.path.insert(0, str(Path(__file__).resolve().parent))
 from bench_faults import faults_section, validate_faults_section  # noqa: E402
+from bench_telemetry import telemetry_section, validate_telemetry_section  # noqa: E402
 
 from repro.attacks import BoundaryNudge, GaussianNoise, RandomFuzz
 from repro.engine.parallel import ShardedQueryEngine
@@ -384,6 +388,7 @@ def _validate_snapshot(path: Path) -> None:
         "scaling",
         "ipc_overhead",
         "faults",
+        "telemetry_overhead",
     ):
         if key not in snapshot:
             raise AssertionError(f"snapshot is missing the {key!r} section")
@@ -410,6 +415,7 @@ def _validate_snapshot(path: Path) -> None:
             f"{probe['pickle']['per_shard_ms']}ms)"
         )
     validate_faults_section(snapshot["faults"])
+    validate_telemetry_section(snapshot["telemetry_overhead"])
 
 
 def main(output: str = "BENCH_fuzzer.json", worker_counts=(1, 2, 4)) -> dict:
@@ -438,6 +444,7 @@ def main(output: str = "BENCH_fuzzer.json", worker_counts=(1, 2, 4)) -> dict:
         "scaling": _scaling_section(worker_counts),
         "ipc_overhead": _ipc_overhead_section(),
         "faults": faults_section(),
+        "telemetry_overhead": telemetry_section(),
     }
     path = Path(output)
     path.write_text(json.dumps(snapshot, indent=2) + "\n")

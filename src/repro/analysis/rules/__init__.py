@@ -23,9 +23,13 @@ REP006    timeout-discipline no unbounded cross-process waits (bare
 REP007    shm-lifecycle     no ``SharedMemory`` creation without paired
                             ``unlink()``/``close()`` cleanup (leaked segments
                             outlive the process)
+REP008    clock-discipline  no wall-clock reads (``time.time()``/
+                            ``datetime.now()``/…) outside ``repro.telemetry``;
+                            durations/deadlines stay monotonic
 ========  ================  ====================================================
 """
 
+from .clocks import ClockDisciplineRule
 from .funnel import EngineFunnelRule
 from .knobs import LegacyKnobRule
 from .locks import LockDisciplineRule
@@ -42,4 +46,5 @@ __all__ = [
     "DictRoundTripRule",
     "TimeoutDisciplineRule",
     "ShmLifecycleRule",
+    "ClockDisciplineRule",
 ]

@@ -28,6 +28,7 @@ from typing import List, Optional, Tuple
 
 import numpy as np
 
+from .. import telemetry
 from ..config import RngLike, ensure_rng
 from ..data.dataset import Dataset
 from ..data.partition import Partition, build_partition_for_dataset
@@ -396,9 +397,11 @@ class OperationalTestingLoop:
 
         with on_degrade(_degrade_checkpoint):
             for iteration in range(start_iteration, self.stopping_rule.max_iterations):
-                iteration_report, current, estimate_after = self._run_iteration(
-                    iteration, current, operational_data, estimate_before
-                )
+                with telemetry.span(f"iteration-{iteration}", "app",
+                                    iteration=iteration):
+                    iteration_report, current, estimate_after = self._run_iteration(
+                        iteration, current, operational_data, estimate_before
+                    )
                 total_test_cases += iteration_report.test_cases_used
                 report.append(iteration_report)
                 self.last_estimate = estimate_after

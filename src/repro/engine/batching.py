@@ -29,8 +29,10 @@ from typing import Dict, Iterator, Mapping, Optional, Protocol, Tuple, runtime_c
 
 import numpy as np
 
+from .. import telemetry
 from ..exceptions import ConfigurationError
 from ..naturalness.metrics import NaturalnessScorer
+from ..telemetry import clock
 from ..types import Classifier
 
 #: Default number of rows per physical model call.  Large enough that BLAS
@@ -297,12 +299,15 @@ class BatchedQueryEngine:
         if n == 0:
             return np.zeros((0, 0))
 
+        telemetry.count("engine.rows", n)
         if self.cache is None:
             return self._predict_proba_chunked(x)
 
         cached = [self.cache.get(row) for row in x]
         miss = np.flatnonzero([value is None for value in cached])
         self._absorb(QueryStats(cache_hits=n - len(miss)))
+        telemetry.count("engine.cache_hits", n - len(miss))
+        telemetry.count("engine.cache_misses", len(miss))
         if len(miss) == 0:
             return np.stack(cached)
         fresh = self._predict_proba_chunked(x[miss])
@@ -330,10 +335,12 @@ class BatchedQueryEngine:
         self._absorb(QueryStats(gradient_rows=n))
         if n == 0:
             return np.zeros_like(x)
+        telemetry.count("engine.gradient_rows", n)
         pieces = []
         for start, stop in _iter_chunks(n, self.batch_size):
             pieces.append(self.model.loss_input_gradient(x[start:stop], y[start:stop]))
             self._absorb(QueryStats(gradient_calls=1))
+            telemetry.count("engine.gradient_calls")
         return pieces[0] if len(pieces) == 1 else np.concatenate(pieces, axis=0)
 
     # ------------------------------------------------------------------ #
@@ -348,10 +355,12 @@ class BatchedQueryEngine:
         self._absorb(QueryStats(naturalness_rows=n))
         if n == 0:
             return np.zeros(0)
+        telemetry.count("engine.naturalness_rows", n)
         pieces = []
         for start, stop in _iter_chunks(n, self.batch_size):
             pieces.append(np.asarray(self.naturalness.score(x[start:stop]), dtype=float))
             self._absorb(QueryStats(naturalness_calls=1))
+            telemetry.count("engine.naturalness_calls")
         return pieces[0] if len(pieces) == 1 else np.concatenate(pieces)
 
     # ------------------------------------------------------------------ #
@@ -385,9 +394,16 @@ class BatchedQueryEngine:
 
     def _predict_proba_chunked(self, x: np.ndarray) -> np.ndarray:
         pieces = []
+        # one enabled check per logical call, not per chunk: when telemetry
+        # is off the hot loop pays nothing, not even a clock read
+        timed = telemetry.enabled()
         for start, stop in _iter_chunks(len(x), self.batch_size):
+            started = clock.monotonic() if timed else 0.0
             pieces.append(np.asarray(self.model.predict_proba(x[start:stop]), dtype=float))
             self._absorb(QueryStats(model_calls=1))
+            if timed:
+                telemetry.observe("engine.chunk_latency_s", clock.monotonic() - started)
+                telemetry.count("engine.model_calls")
         return pieces[0] if len(pieces) == 1 else np.concatenate(pieces, axis=0)
 
 

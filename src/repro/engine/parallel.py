@@ -87,12 +87,14 @@ import multiprocessing
 
 import numpy as np
 
+from .. import telemetry
 from ..exceptions import ConfigurationError
 from ..faults.heartbeat import WorkerHeartbeat
 from ..faults.injection import FaultPlan, WorkerRuntime
 from ..faults.retry import RetryPolicy
 from ..faults.supervision import ShardSupervisor
 from ..naturalness.metrics import NaturalnessScorer
+from ..telemetry import clock
 from ..types import Classifier
 from .batching import (
     DEFAULT_BATCH_SIZE,
@@ -221,11 +223,19 @@ def _install_worker(
     worker_index: int,
     heartbeat,
     plan: Optional[FaultPlan],
+    telemetry_on: bool = False,
 ) -> None:
-    """Pool initializer: unpack the replica and arm the worker runtime."""
+    """Pool initializer: unpack the replica and arm the worker runtime.
+
+    Always re-initialises worker telemetry: under the ``fork`` start method
+    the child inherits the coordinator's live session object, which must be
+    cleared so worker spans go into the worker's private collector (shipped
+    back on shard results) instead of a dead copy of the coordinator ring.
+    """
     global _REPLICA, _RUNTIME
     _REPLICA = pickle.loads(payload)
     _RUNTIME = WorkerRuntime(worker_index, heartbeat, plan)
+    telemetry.arm_process_worker(worker_index, telemetry_on)
 
 
 def _on_shard(shard_index: int) -> None:
@@ -234,11 +244,23 @@ def _on_shard(shard_index: int) -> None:
         _RUNTIME.on_shard(shard_index)
 
 
-def _worker_shard(kind: str, shard_index: int, *arrays) -> Tuple[np.ndarray, QueryStats]:
-    """Process-worker task, pickle transport: arrays arrive on the wire."""
+def _worker_shard(kind: str, shard_index: int, *arrays):
+    """Process-worker task, pickle transport: arrays arrive on the wire.
+
+    When the worker is telemetry-armed the result grows a third element —
+    the drained span payload — which the supervisor's harvest unpacks and
+    merges; unarmed workers keep the plain 2-tuple wire format.
+    """
     _on_shard(shard_index)
     shard_fn, replica_slot = _SHARD_KINDS[kind]
-    return shard_fn(_replica_subject(_REPLICA, replica_slot), *arrays)
+    if not telemetry.worker_armed():
+        return shard_fn(_replica_subject(_REPLICA, replica_slot), *arrays)
+    with telemetry.span(
+        f"shard-{shard_index}", "shard",
+        kind=kind, rows=len(arrays[0]), transport="pickle",
+    ):
+        values, delta = shard_fn(_replica_subject(_REPLICA, replica_slot), *arrays)
+    return values, delta, telemetry.drain_worker_payload()
 
 
 def _worker_shard_shm(kind: str, shard_index: int, envelope):
@@ -253,8 +275,15 @@ def _worker_shard_shm(kind: str, shard_index: int, envelope):
     _on_shard(shard_index)
     shard_fn, replica_slot = _SHARD_KINDS[kind]
     views = read_request(envelope)
-    values, delta = shard_fn(_replica_subject(_REPLICA, replica_slot), *views)
-    return write_response(envelope, values), delta
+    if not telemetry.worker_armed():
+        values, delta = shard_fn(_replica_subject(_REPLICA, replica_slot), *views)
+        return write_response(envelope, values), delta
+    with telemetry.span(
+        f"shard-{shard_index}", "shard",
+        kind=kind, rows=len(views[0]), transport="shm",
+    ):
+        values, delta = shard_fn(_replica_subject(_REPLICA, replica_slot), *views)
+    return write_response(envelope, values), delta, telemetry.drain_worker_payload()
 
 
 #: Thread-worker state: one replica per worker *thread* (installed by the
@@ -275,12 +304,27 @@ def _install_thread_worker(
 
 
 def _thread_shard(kind: str, shard_index: int, *arrays) -> Tuple[np.ndarray, QueryStats]:
-    """Thread-worker task: arrays pass by reference — no IPC at all."""
+    """Thread-worker task: arrays pass by reference — no IPC at all.
+
+    Thread workers share the coordinator's address space, so their spans go
+    straight into the live session (no wire payload) — but tagged onto the
+    worker lane, keeping ``repro trace`` timelines uniform across transports.
+    """
     runtime = getattr(_THREAD_STATE, "runtime", None)
     if runtime is not None:
         runtime.on_shard(shard_index)
     shard_fn, replica_slot = _SHARD_KINDS[kind]
-    return shard_fn(_replica_subject(_THREAD_STATE.replica, replica_slot), *arrays)
+    if not telemetry.enabled():
+        return shard_fn(_replica_subject(_THREAD_STATE.replica, replica_slot), *arrays)
+    started = clock.monotonic()
+    values, delta = shard_fn(_replica_subject(_THREAD_STATE.replica, replica_slot), *arrays)
+    telemetry.record_span(
+        f"shard-{shard_index}", "shard", started, clock.monotonic() - started,
+        proc="worker",
+        worker=runtime.worker_index if runtime is not None else -1,
+        attrs={"kind": kind, "rows": len(arrays[0]), "transport": "threads"},
+    )
+    return values, delta
 
 
 def _shutdown_pools(pools: Sequence[ProcessPoolExecutor]) -> None:
@@ -434,6 +478,9 @@ class ShardedQueryEngine(BatchedQueryEngine):
         self._rings_finalizer: Optional[weakref.finalize] = None
         self._response_bytes_hint = 0
         self._active_staging: Optional[ShmStaging] = None
+        # whether the *current pool generation* was spawned telemetry-armed;
+        # snapshotted at pool creation so respawned slots match their peers
+        self._telemetry_pool = False
 
     @property
     def naturalness(self) -> Optional[NaturalnessScorer]:
@@ -502,15 +549,29 @@ class ShardedQueryEngine(BatchedQueryEngine):
         def run_local(shard: Shard) -> Tuple[np.ndarray, QueryStats]:
             return shard_fn(subject, *(a[shard.start : shard.stop] for a in arrays))
 
+        traced = telemetry.enabled()
+        dispatch_started = clock.monotonic() if traced else 0.0
         if self.num_workers == 1:
             pieces: List[np.ndarray] = []
             for shard in shards:
+                started = clock.monotonic() if traced else 0.0
                 values, delta = run_local(shard)
                 self._absorb(delta)
                 pieces.append(values)
+                if traced:
+                    telemetry.record_span(
+                        f"shard-{shard.index}", "shard",
+                        started, clock.monotonic() - started,
+                        attrs={
+                            "kind": kind,
+                            "rows": shard.stop - shard.start,
+                            "transport": "local",
+                        },
+                    )
         else:
             pools, supervisor = self._ensure_workers()
             transport = self._call_transport(arrays)
+            telemetry.count(f"transport.dispatch.{transport}")
             staging = (
                 self._prepare_staging(shards, arrays)
                 if transport == "shm"
@@ -527,10 +588,20 @@ class ShardedQueryEngine(BatchedQueryEngine):
                         # only the envelope rides the pool (supervised
                         # dispatch: the supervisor harvests every future
                         # with a deadline)
+                        if traced:
+                            telemetry.count(
+                                "transport.shm.bytes",
+                                sum(s.nbytes for s in slices),
+                            )
                         return pools[worker].submit(  # repro: allow[timeout-discipline]
                             _worker_shard_shm, kind, shard.index, envelope
                         )
+                    telemetry.count("transport.shm.staging_fallbacks")
                 # pickle/thread wire (and the staged-slot-exhausted fallback)
+                if traced and transport != "threads":
+                    telemetry.count(
+                        "transport.pickle.bytes", sum(s.nbytes for s in slices)
+                    )
                 return pools[worker].submit(  # repro: allow[timeout-discipline]
                     task_fn, kind, shard.index, *slices
                 )
@@ -559,6 +630,17 @@ class ShardedQueryEngine(BatchedQueryEngine):
                     # rings again, so unlink the segments now rather than
                     # holding shared memory for the in-process remainder
                     release_rings(self._rings)
+        if traced:
+            telemetry.record_span(
+                f"dispatch.{kind}", "engine",
+                dispatch_started, clock.monotonic() - dispatch_started,
+                attrs={
+                    "kind": kind,
+                    "rows": len(arrays[0]),
+                    "shards": len(shards),
+                    "workers": self.num_workers,
+                },
+            )
         return pieces[0] if len(pieces) == 1 else np.concatenate(pieces, axis=0)
 
     def _prepare_staging(
@@ -584,11 +666,24 @@ class ShardedQueryEngine(BatchedQueryEngine):
         for shard in shards:
             planned[shard.worker] += 1
         for worker, pair in enumerate(self._rings[: self.num_workers]):
+            before = (
+                pair.request.slots,
+                pair.request.slot_bytes,
+                pair.response.slot_bytes,
+            )
             pair.ensure(
                 max(planned[worker] + SLOT_HEADROOM, SLOT_HEADROOM),
                 request_bytes,
                 response_bytes,
             )
+            if before[0] and before != (
+                pair.request.slots,
+                pair.request.slot_bytes,
+                pair.response.slot_bytes,
+            ):
+                # an existing ring was reallocated larger (first allocation
+                # of a fresh ring is not growth)
+                telemetry.count("transport.shm.ring_growth")
         staging = ShmStaging(self._rings[: self.num_workers])
         with self._lock:
             self._active_staging = staging
@@ -627,14 +722,35 @@ class ShardedQueryEngine(BatchedQueryEngine):
             max_workers=1,
             mp_context=self._context,  # repro: allow[lock-discipline]
             initializer=_install_worker,
-            initargs=(self._payload, index, self._heartbeat.array, self.faults),  # repro: allow[lock-discipline]
+            initargs=(self._payload, index, self._heartbeat.array, self.faults, self._telemetry_pool),  # repro: allow[lock-discipline]
         )
 
     def _ensure_workers(self) -> Tuple[List[ProcessPoolExecutor], ShardSupervisor]:
         # under the engine lock: two threads racing their first dispatch
         # must not each spawn (and then leak) a full worker set
         with self._lock:
+            if (
+                self._pools is not None
+                and self.transport != "threads"
+                and self._telemetry_pool != telemetry.enabled()
+            ):
+                # telemetry flipped since this pool generation was armed
+                # (e.g. a session opened around an already-warm engine):
+                # retire the generation so the next one arms to match.
+                # Thread pools are exempt — they read the live session.
+                pools, self._pools = self._pools, None
+                self._supervisor = None
+                self._heartbeat = None
+                self._active_staging = None
+                if self._finalizer is not None:
+                    self._finalizer.detach()
+                    self._finalizer = None
+                _shutdown_pools(pools)
             if self._pools is None:
+                # snapshot telemetry enablement for this pool generation:
+                # workers are armed (or not) by their initializer, and a
+                # mid-campaign respawn must match the surviving slots
+                self._telemetry_pool = telemetry.enabled()
                 self._payload = pickle.dumps(
                     (self.model, self.naturalness), protocol=pickle.HIGHEST_PROTOCOL
                 )

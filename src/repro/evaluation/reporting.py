@@ -67,6 +67,16 @@ def campaign_to_rows(report: CampaignReport) -> List[Dict[str, object]]:
     return rows
 
 
+#: The PR 7 supervision counters a chaos campaign accumulates; ``show``
+#: renders them as their own section so a degraded run is obvious at a glance.
+FAULT_COUNTERS = (
+    "shard_retries",
+    "worker_respawns",
+    "degraded_shards",
+    "cache_corrupt_records",
+)
+
+
 def run_summary_rows(runs: Sequence["StoredRun"]) -> List[Dict[str, object]]:
     """One ``python -m repro ls`` row per stored run."""
     rows: List[Dict[str, object]] = []
@@ -82,8 +92,42 @@ def run_summary_rows(runs: Sequence["StoredRun"]) -> List[Dict[str, object]]:
             row["AEs"] = report.total_aes
             row["final-pmi"] = round(report.final_pmi, 4)
             row["target-met"] = report.target_met
+        if run.has_telemetry():
+            row["telemetry"] = "yes"
         rows.append(row)
     return rows
+
+
+def run_summary_documents(runs: Sequence["StoredRun"]) -> List[Dict[str, object]]:
+    """Machine-readable run summaries (``python -m repro ls --json``).
+
+    Unlike :func:`run_summary_rows` (display-shaped), these documents keep
+    exact values and include lifecycle timestamps and fault counters.
+    """
+    documents: List[Dict[str, object]] = []
+    for run in runs:
+        manifest = run.manifest
+        doc: Dict[str, object] = {
+            "run_id": run.run_id,
+            "name": run.name,
+            "status": run.status,
+            "created_at": manifest.get("created_at"),
+            "updated_at": manifest.get("updated_at"),
+            "has_telemetry": run.has_telemetry(),
+        }
+        if run.has_report():
+            report = run.load_report()
+            doc["iterations"] = report.num_iterations
+            doc["total_aes"] = report.total_aes
+            doc["final_pmi"] = report.final_pmi
+            doc["target_met"] = report.target_met
+        stats = run.load_stats()
+        if stats is not None:
+            doc["fault_counters"] = {
+                name: getattr(stats, name) for name in FAULT_COUNTERS
+            }
+        documents.append(doc)
+    return documents
 
 
 def render_stored_run(run: "StoredRun") -> str:
@@ -112,8 +156,12 @@ def render_stored_run(run: "StoredRun") -> str:
         lines.append(f"config: {settings}")
     stats = run.load_stats()
     if stats is not None:
+        stats_row = stats.to_dict()
+        fault_row = {name: stats_row.pop(name) for name in FAULT_COUNTERS}
         lines.append("")
-        lines.append(format_table([stats.to_dict()], title="engine stats"))
+        lines.append(format_table([stats_row], title="engine stats"))
+        lines.append("")
+        lines.append(format_table([fault_row], title="fault counters"))
     if run.has_report():
         report = run.load_report()
         lines.append("")
@@ -129,6 +177,15 @@ def render_stored_run(run: "StoredRun") -> str:
         ]
         lines.append("")
         lines.append(format_table(rows, title="reliability estimates"))
+    if run.has_telemetry():
+        document = run.load_metrics()
+        lines.append("")
+        lines.append(
+            f"telemetry: {document.get('spans_recorded', 0)} spans recorded "
+            f"({document.get('spans_dropped', 0)} dropped), "
+            f"{len(document.get('metrics', {}))} metrics — "
+            f"`python -m repro trace {run.run_id}` renders the timeline"
+        )
     return "\n".join(lines)
 
 
@@ -143,9 +200,11 @@ def summarize_series(name: str, xs: Sequence[float], ys: Sequence[float]) -> str
 
 
 __all__ = [
+    "FAULT_COUNTERS",
     "format_table",
     "campaign_to_rows",
     "run_summary_rows",
+    "run_summary_documents",
     "render_stored_run",
     "summarize_series",
 ]

@@ -6,20 +6,26 @@ shard.  The coordinator reads the same array to distinguish a *slow* worker
 (heartbeat moving — leave it alone) from a *hung or dead* one (heartbeat
 stale past the retry policy's ``shard_timeout_s``).
 
-``time.monotonic`` is comparable across processes on the platforms we run
+The monotonic clock is comparable across processes on the platforms we run
 on (Linux ``CLOCK_MONOTONIC`` is system-wide), and the array is written
 without a lock: a torn read of a double is not possible on the supported
 platforms, and even a stale read only delays detection by one poll
 interval — it can never corrupt results, because supervision only decides
 *where* a shard runs, never *what* it computes.
+
+Audit note (REP008 seed finding): every read here goes through
+:func:`repro.telemetry.clock.monotonic` — never ``time.time()`` — so a
+wall-clock step (NTP jump, DST, manual reset) can neither fake a stale
+heartbeat nor hide a hung worker.  The clock-discipline lint rule keeps it
+that way.
 """
 
 from __future__ import annotations
 
-import time
-from typing import Optional, Sequence
+from typing import Sequence
 
 from ..exceptions import ConfigurationError
+from ..telemetry import clock
 
 
 class WorkerHeartbeat:
@@ -40,7 +46,7 @@ class WorkerHeartbeat:
             raise ConfigurationError("num_workers must be positive")
         # lock=False: single-writer-per-slot doubles need no synchronisation
         self.array = context.Array("d", num_workers, lock=False)
-        now = time.monotonic()
+        now = clock.monotonic()
         for index in range(num_workers):
             self.array[index] = now
 
@@ -49,16 +55,16 @@ class WorkerHeartbeat:
 
     def reset(self, worker: int) -> None:
         """Re-arm a slot's deadline (on spawn/respawn of its process)."""
-        self.array[worker] = time.monotonic()
+        self.array[worker] = clock.monotonic()
 
     def age(self, worker: int) -> float:
         """Seconds since worker ``worker`` last touched its heartbeat."""
-        return time.monotonic() - self.array[worker]
+        return clock.monotonic() - self.array[worker]
 
 
 def beat(array: Sequence[float], worker: int) -> None:
     """Worker-side stamp: touch ``worker``'s slot with the current time."""
-    array[worker] = time.monotonic()
+    array[worker] = clock.monotonic()
 
 
 __all__ = ["WorkerHeartbeat", "beat"]

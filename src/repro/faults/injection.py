@@ -32,6 +32,7 @@ from typing import Dict, Mapping, Optional, Sequence, Tuple
 import numpy as np
 
 from ..exceptions import ConfigurationError
+from ..telemetry import clock
 
 
 def _pairs(value: object, name: str, kinds: Tuple[type, ...]) -> Tuple[tuple, ...]:
@@ -150,7 +151,9 @@ class WorkerRuntime:
                     # exactly what an OOM-kill or segfault looks like
                     os.kill(os.getpid(), signal.SIGKILL)
         if self.heartbeat is not None:
-            self.heartbeat[self.worker_index] = time.monotonic()
+            # monotonic via the telemetry clock: wall-clock steps must never
+            # perturb heartbeat freshness (REP008)
+            self.heartbeat[self.worker_index] = clock.monotonic()
         if plan is not None:
             for shard, seconds in plan.delays:
                 if shard == shard_index and seconds > 0:

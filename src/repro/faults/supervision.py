@@ -36,7 +36,9 @@ from contextlib import contextmanager
 from dataclasses import dataclass, replace
 from typing import Callable, Dict, Iterator, List, Optional, Sequence, Set
 
+from .. import telemetry
 from ..exceptions import ConfigurationError, FaultToleranceError
+from ..telemetry import clock
 from .heartbeat import WorkerHeartbeat
 from .retry import RetryPolicy
 
@@ -171,10 +173,34 @@ class ShardSupervisor:
 
         return QueryStats(**counters)
 
+    @staticmethod
+    def _unpack(result):
+        """Split one harvested task result into ``(values, delta)``.
+
+        Telemetry-armed process workers piggyback their span payload as a
+        third element; it is merged into the coordinator's session here —
+        the single point every harvested future passes through, so worker
+        spans can never be lost to a code path that forgot to ingest them.
+        A worker killed mid-shard never returns, so its in-flight spans die
+        with it; the ``fault.worker_down`` gap event marks the hole.
+        """
+        if len(result) == 3:
+            values, delta, payload = result
+            telemetry.ingest_worker_payload(payload)
+            return values, delta
+        return result
+
     def _worker_down(self, worker: int, reason: str) -> None:
         """One slot's process died or hung: respawn within budget, else bury."""
         if worker in self._dead:
             return
+        telemetry.observe("faults.heartbeat_age_s", self.heartbeat.age(worker))
+        telemetry.count(
+            "faults.hung_workers"
+            if reason == "heartbeat stale"
+            else "faults.dead_workers"
+        )
+        telemetry.event("fault.worker_down", "fault", worker=worker, reason=reason)
         self._respawns[worker] += 1
         attempt = self._respawns[worker]
         if attempt <= self.retry.max_respawns:
@@ -185,6 +211,7 @@ class ShardSupervisor:
             self._respawn_worker(worker, True)
             self.heartbeat.reset(worker)
             self._absorb(self._stats_delta(worker_respawns=1))
+            telemetry.count("faults.worker_respawns")
         else:
             self._respawn_worker(worker, False)
             self._dead.add(worker)
@@ -198,12 +225,15 @@ class ShardSupervisor:
             )
         if not self.degraded:
             self.degraded = True
+            telemetry.count("faults.degrade_events")
+            telemetry.event("fault.degraded", "fault", reason=reason)
             _notify_degrade(DegradeEvent(reason=reason))
 
     def _run_degraded(self, shard, run_local, pieces) -> None:
         values, delta = run_local(shard)
         self._absorb(delta)
         self._absorb(self._stats_delta(degraded_shards=1))
+        telemetry.count("faults.degraded_shards")
         pieces[shard.index] = values
 
     # -- the dispatch loop ------------------------------------------------- #
@@ -227,6 +257,11 @@ class ShardSupervisor:
         attempts: Dict[int, int] = {}
         assigned: Dict[int, int] = {}
         futures: Dict[int, object] = {}
+        # dispatch→complete round trips, recorded on the coordinator lane
+        # (worker compute spans arrive separately via the shard payloads);
+        # resolved once per dispatch so the disabled path pays nothing
+        traced = telemetry.enabled()
+        submitted: Dict[int, float] = {}
 
         def launch(shard) -> bool:
             """Place one shard on an alive worker; False when none can take it."""
@@ -249,6 +284,8 @@ class ShardSupervisor:
                 attempts[shard.index] = attempts.get(shard.index, 0) + 1
                 assigned[shard.index] = worker
                 futures[shard.index] = future
+                if traced:
+                    submitted[shard.index] = clock.monotonic()
                 return True
 
         def reclaim(worker: int) -> None:
@@ -262,6 +299,7 @@ class ShardSupervisor:
                     continue  # exhausted — surfaced when gathering reaches it
                 if launch(shard):
                     self._absorb(self._stats_delta(shard_retries=1))
+                    telemetry.count("faults.shard_retries")
 
         for shard in shards:
             if not self.degraded and not launch(shard):
@@ -287,7 +325,9 @@ class ShardSupervisor:
                     continue
                 worker = assigned[shard.index]
                 try:
-                    values, delta = future.result(timeout=self.poll_interval)
+                    values, delta = self._unpack(
+                        future.result(timeout=self.poll_interval)
+                    )
                 except FutureTimeoutError:
                     if self.heartbeat.age(worker) <= self.retry.shard_timeout_s:
                         continue  # still beating: slow or queued, not hung
@@ -298,6 +338,18 @@ class ShardSupervisor:
                     reclaim(worker)
                 else:
                     self._absorb(delta)
+                    if traced and shard.index in submitted:
+                        start = submitted.pop(shard.index)
+                        telemetry.record_span(
+                            f"shard-{shard.index}",
+                            "dispatch",
+                            start,
+                            clock.monotonic() - start,
+                            attrs={
+                                "worker": worker,
+                                "attempts": attempts.get(shard.index, 1),
+                            },
+                        )
                     pieces[shard.index] = (
                         decode(shard, values) if decode is not None else values
                     )
@@ -315,7 +367,9 @@ class ShardSupervisor:
         worker = assigned.pop(shard.index, None)
         if future is not None and worker is not None and worker not in self._dead:
             try:
-                values, delta = future.result(timeout=self.retry.shard_timeout_s)
+                values, delta = self._unpack(
+                    future.result(timeout=self.retry.shard_timeout_s)
+                )
             except (FutureTimeoutError, BrokenExecutor):
                 self._worker_down(worker, reason="lost while degrading")
             else:

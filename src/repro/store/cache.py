@@ -52,8 +52,10 @@ from typing import Dict, Optional, Tuple, Union
 
 import numpy as np
 
+from .. import telemetry
 from ..engine.batching import row_cache_key
 from ..exceptions import StoreError
+from ..telemetry import clock
 
 #: Magic bytes opening every record; bumping the version invalidates old files
 #: (RPC1 records carried no checksum and are no longer readable).
@@ -141,10 +143,12 @@ class PersistentQueryCache:
         digest = _digest(key)
         located = self._index.get(digest)
         if located is None:
+            telemetry.count("store.cache_get_misses")
             return None
         segment, offset = located
         record = self._read_record(segment, offset)
         if record is None:
+            telemetry.count("store.corrupt_records")
             # the indexed record no longer checks out (a segment mutated or
             # rotted behind our back): drop the entry, count it once, and
             # answer a miss rather than ever returning a wrong value
@@ -159,6 +163,7 @@ class PersistentQueryCache:
             return None
         if record[0] != key:
             return None  # digest collision: a miss, never a wrong value
+        telemetry.count("store.cache_get_hits")
         return _decode_value(record[1])
 
     def put(self, row: np.ndarray, value: np.ndarray) -> None:
@@ -177,6 +182,8 @@ class PersistentQueryCache:
         writer.flush()
         self._index[digest] = (self._own_segment, offset)
         self._scanned[self._own_segment] = writer.tell()
+        telemetry.count("store.cache_puts")
+        telemetry.count("store.cache_put_bytes", _HEADER.size + len(key) + len(payload))
 
     def clear(self) -> None:
         """Delete every segment (the durable entries, not just the index)."""
@@ -203,9 +210,13 @@ class PersistentQueryCache:
         segment files are discovered, so a long-running campaign can pick up
         a concurrent process's work without reopening the store.
         """
-        added = 0
-        for segment in sorted(self._segment_dir.glob("seg-*.bin")):
-            added += self._scan_segment(segment, self._scanned.get(segment, 0))
+        with telemetry.span("cache.refresh", "store"):
+            added = 0
+            for segment in sorted(self._segment_dir.glob("seg-*.bin")):
+                added += self._scan_segment(segment, self._scanned.get(segment, 0))
+            telemetry.count("store.refreshes")
+            if added:
+                telemetry.count("store.refresh_entries", added)
         return added
 
     def close(self) -> None:
@@ -304,6 +315,8 @@ class PersistentQueryCache:
                 self._scanned[segment] = handle.tell()
         if corrupt:
             self.corrupt_records += corrupt
+            telemetry.count("store.corrupt_records", corrupt)
+            telemetry.event("cache.corrupt_records", "store", segment=segment.name, skipped=corrupt)
             warnings.warn(
                 f"query cache {segment}: skipped {corrupt} corrupt record(s) "
                 "(CRC/framing mismatch); intact records were kept",

@@ -26,7 +26,9 @@ from typing import Dict, Optional, Union
 
 import numpy as np
 
+from .. import telemetry
 from ..exceptions import CheckpointError
+from ..telemetry import clock
 
 _FORMAT = "repro-checkpoint"
 _VERSION = 1
@@ -59,11 +61,17 @@ def write_checkpoint(path: PathLike, payload: Dict[str, object]) -> None:
     path.parent.mkdir(parents=True, exist_ok=True)
     envelope = {"format": _FORMAT, "version": _VERSION, "payload": payload}
     tmp = path.with_name(path.name + ".tmp")
+    timed = telemetry.enabled()
+    started = clock.monotonic() if timed else 0.0
     with open(tmp, "wb") as handle:
         pickle.dump(envelope, handle, protocol=pickle.HIGHEST_PROTOCOL)
         handle.flush()
         os.fsync(handle.fileno())
     os.replace(tmp, path)
+    if timed:
+        telemetry.observe("store.checkpoint_write_s", clock.monotonic() - started)
+        telemetry.count("store.checkpoint_writes")
+        telemetry.count("store.checkpoint_bytes", path.stat().st_size)
 
 
 def read_checkpoint(path: PathLike) -> Dict[str, object]:

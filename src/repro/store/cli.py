@@ -15,10 +15,14 @@ The service surface over the campaign store:
     rebuilt from the recorded spec (same seed), so the resumed campaign
     continues bit-identically.
 ``ls``
-    List registered runs.
+    List registered runs (``--json`` for machine-readable output).
 ``show``
     Render one stored run (campaign spec, stats, iteration table,
-    estimates).
+    estimates, fault counters, telemetry summary).
+``trace``
+    Render the shard/worker timeline of a telemetry-enabled run from its
+    stored ``trace.jsonl`` (``--chrome`` exports a Perfetto-loadable
+    trace-event file, ``--json`` dumps the raw header + spans).
 ``gc``
     Delete stored runs by status and/or count.
 
@@ -91,14 +95,28 @@ def _build_parser() -> argparse.ArgumentParser:
                      choices=("degrade", "fail"),
                      help="retry-budget exhaustion: degrade to in-process "
                           "execution (default) or fail the campaign")
+    run.add_argument("--telemetry", action="store_true",
+                     help="record spans + metrics; stores trace.jsonl and "
+                          "metrics.json next to the run (see `trace`)")
 
     resume = commands.add_parser("resume", help="resume an interrupted run")
     resume.add_argument("run_id", help="registry id, e.g. run-0001")
 
-    commands.add_parser("ls", help="list registered runs")
+    ls = commands.add_parser("ls", help="list registered runs")
+    ls.add_argument("--json", action="store_true",
+                    help="emit one JSON document instead of a table")
 
     show = commands.add_parser("show", help="render one stored run")
     show.add_argument("run_id", help="registry id, e.g. run-0001")
+
+    trace = commands.add_parser(
+        "trace", help="render a stored run's shard/worker timeline"
+    )
+    trace.add_argument("run_id", help="registry id, e.g. run-0001")
+    trace.add_argument("--chrome", default=None, metavar="PATH",
+                       help="also write a Chrome/Perfetto trace-event file")
+    trace.add_argument("--json", action="store_true",
+                       help="dump the raw trace (header + spans) as JSON")
 
     gc = commands.add_parser("gc", help="delete stored runs")
     gc.add_argument("--status", default=None, choices=RUN_STATUSES,
@@ -188,8 +206,19 @@ def _build_campaign(config: dict):
     return CampaignSpec.from_dict(spec_data).build()
 
 
+def _telemetry_enabled(config: dict) -> bool:
+    """Whether the recorded spec asks for telemetry (policy.telemetry)."""
+    spec = config.get("spec")
+    if not isinstance(spec, dict):
+        return False
+    policy = spec.get("policy")
+    return isinstance(policy, dict) and bool(policy.get("telemetry"))
+
+
 def _execute(run: StoredRun, resume: bool) -> None:
     """Run (or resume) the campaign recorded in ``run`` and store its artifacts."""
+    from .. import telemetry
+
     resume_from = None
     if resume:
         if not run.checkpoint_path.exists():
@@ -200,12 +229,19 @@ def _execute(run: StoredRun, resume: bool) -> None:
         resume_from = str(run.checkpoint_path)
     try:
         scenario, loop = _build_campaign(run.config)
-        _, report = loop.run(
-            scenario.model,
-            operational_data=scenario.operational_data,
-            checkpoint_path=str(run.checkpoint_path),
-            resume_from=resume_from,
-        )
+        with telemetry.session(enabled=_telemetry_enabled(run.config)) as sess:
+            try:
+                _, report = loop.run(
+                    scenario.model,
+                    operational_data=scenario.operational_data,
+                    checkpoint_path=str(run.checkpoint_path),
+                    resume_from=resume_from,
+                )
+            finally:
+                # a failed campaign's partial trace is exactly what you want
+                # for the post-mortem, so save before re-raising
+                if sess is not None:
+                    run.save_telemetry(sess)
     except BaseException:
         run.set_status("failed")
         raise
@@ -234,6 +270,11 @@ def _cmd_run(registry: RunRegistry, args: argparse.Namespace) -> int:
         spec_data = _stored_spec(registry.get(args.from_run))
     else:
         spec_data = _spec_from_flags(args)
+    if args.telemetry:
+        # --telemetry composes with every spec source; the override is part
+        # of the stored document, so `--from-run` of this run inherits it
+        spec_data = dict(spec_data)
+        spec_data["policy"] = {**spec_data.get("policy", {}), "telemetry": True}
     # validate before registering — a malformed spec never creates a run;
     # anything that can only fail at build time (e.g. an unknown scenario
     # name) is recorded and marks the run "failed"
@@ -256,9 +297,15 @@ def _cmd_resume(registry: RunRegistry, args: argparse.Namespace) -> int:
 
 
 def _cmd_ls(registry: RunRegistry, args: argparse.Namespace) -> int:
-    from ..evaluation.reporting import format_table, run_summary_rows
+    from ..evaluation.reporting import format_table, run_summary_documents, run_summary_rows
 
-    print(format_table(run_summary_rows(registry.runs()), title=f"runs in {registry.root}"))
+    runs = registry.runs()
+    if args.json:
+        import json
+
+        print(json.dumps(run_summary_documents(runs), indent=2, sort_keys=True))
+    else:
+        print(format_table(run_summary_rows(runs), title=f"runs in {registry.root}"))
     return 0
 
 
@@ -266,6 +313,27 @@ def _cmd_show(registry: RunRegistry, args: argparse.Namespace) -> int:
     from ..evaluation.reporting import render_stored_run
 
     print(render_stored_run(registry.get(args.run_id)))
+    return 0
+
+
+def _cmd_trace(registry: RunRegistry, args: argparse.Namespace) -> int:
+    from .. import telemetry
+
+    run = registry.get(args.run_id)
+    header, spans = run.load_trace()
+    if args.chrome:
+        with open(args.chrome, "w") as fp:
+            telemetry.write_chrome_trace(fp, header, spans)
+        print(f"wrote {len(spans)} trace events to {args.chrome}")
+    if args.json:
+        import json
+
+        print(json.dumps(
+            {"header": header, "spans": [span.to_dict() for span in spans]},
+            indent=2, sort_keys=True,
+        ))
+    else:
+        print(telemetry.render_timeline(header, spans))
     return 0
 
 
@@ -283,6 +351,7 @@ _COMMANDS = {
     "resume": _cmd_resume,
     "ls": _cmd_ls,
     "show": _cmd_show,
+    "trace": _cmd_trace,
     "gc": _cmd_gc,
 }
 

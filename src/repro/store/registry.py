@@ -23,6 +23,9 @@ files:
 ``checkpoint.pkl``
     The campaign's live checkpoint while it runs (see
     :mod:`repro.store.checkpoint`); ``python -m repro resume`` picks it up.
+``trace.jsonl`` / ``metrics.json``
+    Structured spans and metrics of a telemetry-enabled campaign
+    (:mod:`repro.telemetry`); ``python -m repro trace`` renders them.
 
 Everything is stdlib + NumPy; JSON for metadata, ``.npz`` for bulk arrays,
 in keeping with the HSDS idea of a simple chunked store behind a service
@@ -34,14 +37,15 @@ from __future__ import annotations
 import dataclasses
 import json
 import shutil
-import time
 from pathlib import Path
-from typing import Dict, List, Optional, Union
+from typing import Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
+from .. import telemetry as _telemetry
 from ..engine.batching import QueryStats
 from ..exceptions import StoreError
+from ..telemetry import clock
 from ..reliability.assessment import ReliabilityEstimate
 from ..types import AdversarialExample, CampaignReport, IterationReport
 
@@ -104,7 +108,9 @@ class StoredRun:
             raise StoreError(f"status must be one of {RUN_STATUSES}, got {status!r}")
         manifest = self.manifest
         manifest["status"] = status
-        manifest["updated_at"] = time.time()
+        # calendar-time metadata is the legitimate use of the wall clock
+        # (never durations/deadlines) — hence clock.wall, not time.time
+        manifest["updated_at"] = clock.wall()
         _write_json(self.path / "run.json", manifest)
 
     def finish(self, status: str = "completed") -> None:
@@ -209,6 +215,48 @@ class StoredRun:
             }
         np.savez_compressed(self.path / "detections.npz", **arrays)
 
+    # ------------------------------------------------------------------ #
+    # telemetry artifacts
+    # ------------------------------------------------------------------ #
+    @property
+    def trace_path(self) -> Path:
+        return self.path / "trace.jsonl"
+
+    @property
+    def metrics_path(self) -> Path:
+        return self.path / "metrics.json"
+
+    def save_telemetry(self, session: "_telemetry.TelemetrySession") -> None:
+        """Persist one session as ``trace.jsonl`` + ``metrics.json``.
+
+        Written via temp-and-replace like every registry file, so a crash
+        mid-save can never leave a half-written artifact behind.
+        """
+        tmp = self.trace_path.with_name(self.trace_path.name + ".tmp")
+        with tmp.open("w") as fp:
+            _telemetry.write_trace(fp, session)
+        tmp.replace(self.trace_path)
+        _write_json(self.metrics_path, _telemetry.metrics_document(session))
+
+    def has_telemetry(self) -> bool:
+        return self.trace_path.exists()
+
+    def load_trace(self) -> Tuple[dict, List["_telemetry.Span"]]:
+        """The stored trace as ``(header, spans)``; raises when absent."""
+        if not self.trace_path.exists():
+            raise StoreError(
+                f"run {self.run_id} has no trace.jsonl — run it with "
+                "telemetry enabled (--telemetry / ExecutionPolicy(telemetry=True))"
+            )
+        with self.trace_path.open() as fp:
+            return _telemetry.read_trace(fp)
+
+    def load_metrics(self) -> dict:
+        """The stored ``metrics.json`` document; raises when absent."""
+        if not self.metrics_path.exists():
+            raise StoreError(f"run {self.run_id} has no metrics.json")
+        return _read_json(self.metrics_path)
+
     def load_detections(self) -> List[AdversarialExample]:
         path = self.path / "detections.npz"
         if not path.exists():
@@ -263,8 +311,8 @@ class RunRegistry:
                 "name": name,
                 "status": "running",
                 "config": config or {},
-                "created_at": time.time(),
-                "updated_at": time.time(),
+                "created_at": clock.wall(),
+                "updated_at": clock.wall(),
             },
         )
         return StoredRun(path)

@@ -1,0 +1,86 @@
+"""Low-overhead structured tracing + metrics for the execution funnel.
+
+Usage, coordinator side::
+
+    from repro import telemetry
+
+    with telemetry.session(policy.telemetry) as sess:
+        with telemetry.span("campaign", "app", run_id=run_id):
+            loop.run(...)
+    if sess is not None:
+        registry.save_telemetry(run_id, sess)
+
+Instrumentation sites (engine, transport, faults, store) call
+``telemetry.span/event/count/gauge/observe`` unconditionally — when no
+session is active every call is a no-op, which is what keeps the
+disabled path free and the enabled path under the 3% overhead budget
+pinned by ``benchmarks/bench_telemetry.py``.
+
+Process-pool workers are armed by the pool initializer and ship their
+spans back piggybacked on shard results; see :mod:`repro.telemetry.runtime`.
+Telemetry never touches RNG state and never reorders work, so enabling
+it is bit-identity-neutral (pinned by the equivalence suite).
+"""
+
+from .clock import anchor, monotonic, wall
+from .export import (
+    chrome_trace_events,
+    metrics_document,
+    read_trace,
+    render_timeline,
+    write_chrome_trace,
+    write_trace,
+)
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .runtime import (
+    MAX_CLOCK_SKEW_S,
+    TelemetrySession,
+    active,
+    arm_process_worker,
+    count,
+    drain_worker_payload,
+    enabled,
+    event,
+    gauge,
+    ingest_worker_payload,
+    observe,
+    record_span,
+    session,
+    span,
+    worker_armed,
+)
+from .spans import DEFAULT_CAPACITY, Span, TraceCollector
+
+__all__ = [
+    "Counter",
+    "DEFAULT_CAPACITY",
+    "MAX_CLOCK_SKEW_S",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Span",
+    "TelemetrySession",
+    "TraceCollector",
+    "active",
+    "anchor",
+    "arm_process_worker",
+    "chrome_trace_events",
+    "count",
+    "drain_worker_payload",
+    "enabled",
+    "event",
+    "gauge",
+    "ingest_worker_payload",
+    "metrics_document",
+    "monotonic",
+    "observe",
+    "read_trace",
+    "record_span",
+    "render_timeline",
+    "session",
+    "span",
+    "wall",
+    "worker_armed",
+    "write_chrome_trace",
+    "write_trace",
+]

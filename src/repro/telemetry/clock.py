@@ -1,0 +1,43 @@
+"""Single home for clock reads.
+
+Every timestamp in repro flows through this module.  ``monotonic()`` is
+the only clock allowed in span, deadline, and heartbeat arithmetic:
+``CLOCK_MONOTONIC`` is system-wide on Linux, so readings taken in a
+worker process are directly comparable to readings taken in the
+coordinator, and the clock never steps backwards under NTP adjustments.
+``wall()`` exists solely to anchor a monotonic trace to calendar time in
+exported artifacts.
+
+The REP008 clock-discipline lint rule enforces the split: wall-clock
+reads (``time.time()``, ``datetime.now()``, ...) outside
+``repro/telemetry/`` must carry a ``# repro: allow[clock-discipline]``
+pragma with a justification.
+"""
+
+from __future__ import annotations
+
+import time
+
+__all__ = ["monotonic", "wall", "anchor"]
+
+
+def monotonic() -> float:
+    """Seconds on the system-wide monotonic clock."""
+    return time.monotonic()
+
+
+def wall() -> float:
+    """Seconds since the epoch.  Only for anchoring exports to calendar
+    time and stamping artifact metadata — never for durations or
+    deadlines."""
+    return time.time()
+
+
+def anchor() -> tuple[float, float]:
+    """A paired ``(monotonic, wall)`` reading.
+
+    Shipped alongside worker span payloads so the coordinator can detect
+    (and correct) a monotonic-epoch mismatch on platforms where the
+    monotonic clock is per-process rather than system-wide.
+    """
+    return time.monotonic(), time.time()

@@ -1,0 +1,279 @@
+"""Durable trace/metric artifacts and renderers.
+
+``trace.jsonl`` layout: a header object on line 1 —
+
+    {"version": 1, "origin_monotonic": ..., "origin_wall": ...,
+     "dropped": N, "spans": M}
+
+— then one JSON object per span with ``start_s`` rebased so the
+session's activation is t=0.  ``origin_wall`` lets readers recover
+calendar time; everything else stays on the monotonic timeline.
+
+Two renderers consume a loaded trace: :func:`chrome_trace_events` emits
+Chrome trace-event JSON (load the file in Perfetto / ``chrome://tracing``)
+and :func:`render_timeline` draws an ASCII per-lane occupancy chart for
+``python -m repro trace <run>``.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO, List, Optional, Tuple
+
+from .runtime import TelemetrySession
+from .spans import Span
+
+__all__ = [
+    "TRACE_VERSION",
+    "trace_header",
+    "write_trace",
+    "read_trace",
+    "metrics_document",
+    "chrome_trace_events",
+    "write_chrome_trace",
+    "render_timeline",
+]
+
+TRACE_VERSION = 1
+
+
+def trace_header(session: TelemetrySession, span_count: int) -> dict:
+    return {
+        "version": TRACE_VERSION,
+        "origin_monotonic": session.anchor_monotonic,
+        "origin_wall": session.anchor_wall,
+        "dropped": session.spans.dropped,
+        "spans": span_count,
+    }
+
+
+def write_trace(fp: IO[str], session: TelemetrySession) -> int:
+    """Write header + spans (rebased to session start, time-ordered).
+
+    Returns the number of spans written.
+    """
+    origin = session.anchor_monotonic
+    spans = sorted(session.spans.snapshot(), key=lambda s: s.start_s)
+    fp.write(json.dumps(trace_header(session, len(spans))) + "\n")
+    for s in spans:
+        fp.write(json.dumps(s.shifted(-origin).to_dict()) + "\n")
+    return len(spans)
+
+
+def read_trace(fp: IO[str]) -> Tuple[dict, List[Span]]:
+    """Parse a ``trace.jsonl`` stream back into (header, spans).
+
+    Span ``start_s`` values are relative to the trace origin (t=0).
+    """
+    header_line = fp.readline()
+    if not header_line.strip():
+        raise ValueError("empty trace file")
+    header = json.loads(header_line)
+    if header.get("version") != TRACE_VERSION:
+        raise ValueError(
+            f"unsupported trace version {header.get('version')!r}"
+        )
+    spans = []
+    for line in fp:
+        if not line.strip():
+            continue
+        rec = json.loads(line)
+        spans.append(
+            Span(
+                name=rec["name"],
+                category=rec["cat"],
+                start_s=rec["start_s"],
+                duration_s=rec["dur_s"],
+                proc=rec["proc"],
+                worker=rec["worker"],
+                attrs=rec.get("attrs"),
+            )
+        )
+    return header, spans
+
+
+def metrics_document(session: TelemetrySession) -> dict:
+    """The ``metrics.json`` artifact body."""
+    return {
+        "version": TRACE_VERSION,
+        "origin_wall": session.anchor_wall,
+        "spans_recorded": len(session.spans),
+        "spans_dropped": session.spans.dropped,
+        "metrics": session.metrics.to_dict(),
+    }
+
+
+# -- Chrome trace-event export ------------------------------------------
+
+
+def _tid(span: Span) -> int:
+    # tid 0 = coordinator lane; worker N renders as tid N+1.
+    return span.worker + 1 if span.proc == "worker" and span.worker >= 0 else 0
+
+
+def chrome_trace_events(header: dict, spans: List[Span]) -> List[dict]:
+    """Chrome trace-event objects (``ph: X`` complete events, µs units)."""
+    events: List[dict] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": 1,
+            "tid": 0,
+            "args": {"name": "repro campaign"},
+        },
+        {
+            "name": "thread_name",
+            "ph": "M",
+            "pid": 1,
+            "tid": 0,
+            "args": {"name": "coordinator"},
+        },
+    ]
+    named = {0}
+    for s in spans:
+        tid = _tid(s)
+        if tid not in named:
+            named.add(tid)
+            events.append(
+                {
+                    "name": "thread_name",
+                    "ph": "M",
+                    "pid": 1,
+                    "tid": tid,
+                    "args": {"name": s.lane},
+                }
+            )
+        event = {
+            "name": s.name,
+            "cat": s.category,
+            "ph": "X",
+            "ts": s.start_s * 1e6,
+            "dur": s.duration_s * 1e6,
+            "pid": 1,
+            "tid": tid,
+        }
+        if s.attrs:
+            event["args"] = s.attrs
+        events.append(event)
+    return events
+
+
+def write_chrome_trace(fp: IO[str], header: dict, spans: List[Span]) -> None:
+    json.dump(
+        {
+            "traceEvents": chrome_trace_events(header, spans),
+            "displayTimeUnit": "ms",
+            "otherData": {"origin_wall": header.get("origin_wall")},
+        },
+        fp,
+    )
+
+
+# -- ASCII timeline ------------------------------------------------------
+
+
+def _format_seconds(seconds: float) -> str:
+    if seconds >= 1.0:
+        return f"{seconds:.2f}s"
+    return f"{seconds * 1e3:.2f}ms"
+
+
+def _occupancy_bar(spans: List[Span], end_s: float, width: int) -> str:
+    cells = [0.0] * width
+    cell_w = end_s / width if end_s > 0 else 1.0
+    for s in spans:
+        lo = max(0, min(width - 1, int(s.start_s / cell_w)))
+        hi = max(0, min(width - 1, int(s.end_s / cell_w)))
+        for i in range(lo, hi + 1):
+            cell_lo, cell_hi = i * cell_w, (i + 1) * cell_w
+            overlap = min(s.end_s, cell_hi) - max(s.start_s, cell_lo)
+            if overlap > 0 or s.duration_s == 0.0:
+                cells[i] += max(overlap, 0.0)
+    out = []
+    for filled in cells:
+        frac = filled / cell_w
+        if frac <= 0.0:
+            out.append("·")
+        elif frac < 0.5:
+            out.append("░")
+        elif frac < 0.95:
+            out.append("▒")
+        else:
+            out.append("█")
+    return "".join(out)
+
+
+def render_timeline(
+    header: dict,
+    spans: List[Span],
+    width: int = 64,
+    max_shard_rows: int = 48,
+) -> str:
+    """Per-lane occupancy chart + category summary + shard table."""
+    lines: List[str] = []
+    if not spans:
+        lines.append("trace is empty (0 spans)")
+        if header.get("dropped"):
+            lines.append(f"spans dropped (ring full): {header['dropped']}")
+        return "\n".join(lines)
+
+    end_s = max(s.end_s for s in spans)
+    lines.append(
+        f"trace: {len(spans)} spans over {_format_seconds(end_s)}"
+        + (
+            f"  (dropped {header['dropped']} — ring full)"
+            if header.get("dropped")
+            else ""
+        )
+    )
+    lines.append("")
+
+    # Lane occupancy: coordinator first, then workers in index order.
+    lanes = {}
+    for s in spans:
+        lanes.setdefault(s.lane, []).append(s)
+    lane_order = sorted(
+        lanes, key=lambda lane: (-1,) if lane == "coordinator" else (
+            0,
+            int(lane.rsplit("-", 1)[1]) if "-" in lane else 0,
+        )
+    )
+    label_w = max(len(lane) for lane in lane_order)
+    for lane in lane_order:
+        lane_spans = lanes[lane]
+        busy = sum(s.duration_s for s in lane_spans)
+        bar = _occupancy_bar(lane_spans, end_s, width)
+        lines.append(
+            f"{lane:<{label_w}} |{bar}| "
+            f"{len(lane_spans)} spans, busy {_format_seconds(busy)}"
+        )
+    lines.append(f"{'':<{label_w}}  0{'':<{width - 2}}{_format_seconds(end_s)}")
+    lines.append("")
+
+    # Category summary.
+    cats = {}
+    for s in spans:
+        count, total = cats.get(s.category, (0, 0.0))
+        cats[s.category] = (count + 1, total + s.duration_s)
+    lines.append(f"{'category':<12} {'spans':>6} {'total':>10}")
+    for cat in sorted(cats, key=lambda c: -cats[c][1]):
+        count, total = cats[cat]
+        lines.append(f"{cat:<12} {count:>6} {_format_seconds(total):>10}")
+
+    # Shard table: the dispatch→complete spans, in start order.
+    shard_spans = [s for s in spans if s.category == "shard"]
+    if shard_spans:
+        lines.append("")
+        lines.append(
+            f"{'shard span':<24} {'lane':<{label_w}} "
+            f"{'start':>10} {'duration':>10}"
+        )
+        for s in shard_spans[:max_shard_rows]:
+            lines.append(
+                f"{s.name:<24} {s.lane:<{label_w}} "
+                f"{_format_seconds(s.start_s):>10} "
+                f"{_format_seconds(s.duration_s):>10}"
+            )
+        if len(shard_spans) > max_shard_rows:
+            lines.append(f"… and {len(shard_spans) - max_shard_rows} more")
+    return "\n".join(lines)

@@ -1,0 +1,196 @@
+"""Counters, gauges, and log-bucketed histograms.
+
+The registry is get-or-create by name so instrumentation sites never
+need to pre-declare their metrics, and ``to_dict`` / ``merge`` give the
+JSON artifact shape and the worker→coordinator aggregation path.
+
+All updates are lock-guarded: the sharded engine touches metrics from
+future-completion threads, and process workers keep a private registry
+that is merged into the coordinator's when shard payloads are harvested.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, Optional, Sequence
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
+
+# Geometric buckets from 1µs up to ~1074s (ratio 4): wide enough to hold
+# both sub-millisecond IPC latencies and multi-minute campaign phases in
+# one fixed shape, which keeps histogram merge a pointwise add.
+DEFAULT_BOUNDS = tuple(1e-6 * (4.0**i) for i in range(16))
+
+
+class Counter:
+    """Monotonically increasing count."""
+
+    kind = "counter"
+
+    def __init__(self) -> None:
+        self.value = 0.0
+        self._lock = threading.Lock()
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counter increment must be >= 0, got {amount}")
+        with self._lock:
+            self.value += amount
+
+    def to_dict(self) -> dict:
+        with self._lock:
+            return {"type": self.kind, "value": self.value}
+
+    def merge(self, payload: dict) -> None:
+        with self._lock:
+            self.value += float(payload["value"])
+
+
+class Gauge:
+    """Last-observed value."""
+
+    kind = "gauge"
+
+    def __init__(self) -> None:
+        self.value = 0.0
+        self._lock = threading.Lock()
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self.value = float(value)
+
+    def to_dict(self) -> dict:
+        with self._lock:
+            return {"type": self.kind, "value": self.value}
+
+    def merge(self, payload: dict) -> None:
+        # Gauges are point-in-time; on merge the incoming (worker-side,
+        # more recent) reading wins.
+        with self._lock:
+            self.value = float(payload["value"])
+
+
+class Histogram:
+    """Fixed log-spaced buckets with count/sum/min/max."""
+
+    kind = "histogram"
+
+    def __init__(self, bounds: Sequence[float] = DEFAULT_BOUNDS) -> None:
+        self.bounds = tuple(bounds)
+        if list(self.bounds) != sorted(self.bounds):
+            raise ValueError("histogram bounds must be sorted ascending")
+        self.counts = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.sum = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+        self._lock = threading.Lock()
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        idx = self._bucket_index(value)
+        with self._lock:
+            self.counts[idx] += 1
+            self.count += 1
+            self.sum += value
+            if value < self.min:
+                self.min = value
+            if value > self.max:
+                self.max = value
+
+    def _bucket_index(self, value: float) -> int:
+        # Linear scan: 17 buckets, and instrumentation sites observe at
+        # chunk/shard granularity, not per row.
+        for i, bound in enumerate(self.bounds):
+            if value <= bound:
+                return i
+        return len(self.bounds)
+
+    @property
+    def mean(self) -> float:
+        with self._lock:
+            return self.sum / self.count if self.count else 0.0
+
+    def to_dict(self) -> dict:
+        with self._lock:
+            return {
+                "type": self.kind,
+                "count": self.count,
+                "sum": self.sum,
+                "min": self.min if self.count else None,
+                "max": self.max if self.count else None,
+                "bounds": list(self.bounds),
+                "counts": list(self.counts),
+            }
+
+    def merge(self, payload: dict) -> None:
+        if list(payload["bounds"]) != list(self.bounds):
+            raise ValueError("cannot merge histograms with different bounds")
+        with self._lock:
+            self.count += int(payload["count"])
+            self.sum += float(payload["sum"])
+            self.counts = [a + b for a, b in zip(self.counts, payload["counts"])]
+            if payload["min"] is not None and payload["min"] < self.min:
+                self.min = payload["min"]
+            if payload["max"] is not None and payload["max"] > self.max:
+                self.max = payload["max"]
+
+
+_KINDS = {"counter": Counter, "gauge": Gauge, "histogram": Histogram}
+
+
+class MetricsRegistry:
+    """Get-or-create metric store keyed by dotted name."""
+
+    def __init__(self) -> None:
+        self._metrics: Dict[str, object] = {}
+        self._lock = threading.Lock()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._metrics)
+
+    def _get_or_create(self, name: str, factory, kind: str):
+        with self._lock:
+            metric = self._metrics.get(name)
+            if metric is None:
+                metric = factory()
+                self._metrics[name] = metric
+            elif metric.kind != kind:
+                raise TypeError(
+                    f"metric {name!r} already registered as {metric.kind}, "
+                    f"requested {kind}"
+                )
+            return metric
+
+    def counter(self, name: str) -> Counter:
+        return self._get_or_create(name, Counter, "counter")
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get_or_create(name, Gauge, "gauge")
+
+    def histogram(
+        self, name: str, bounds: Optional[Sequence[float]] = None
+    ) -> Histogram:
+        factory = Histogram if bounds is None else (lambda: Histogram(bounds))
+        return self._get_or_create(name, factory, "histogram")
+
+    def to_dict(self) -> dict:
+        """JSON-ready snapshot, sorted by name for stable artifacts."""
+        with self._lock:
+            items = sorted(self._metrics.items())
+        return {name: metric.to_dict() for name, metric in items}
+
+    def merge(self, payload: dict) -> None:
+        """Fold a ``to_dict`` snapshot (e.g. a worker's) into this registry."""
+        for name, entry in payload.items():
+            kind = entry["type"]
+            if kind == "histogram":
+                metric = self.histogram(name, entry["bounds"])
+            elif kind == "gauge":
+                metric = self.gauge(name)
+            elif kind == "counter":
+                metric = self.counter(name)
+            else:
+                raise ValueError(f"unknown metric type {kind!r} for {name!r}")
+            metric.merge(entry)

@@ -1,0 +1,339 @@
+"""Session lifecycle and the instrumentation API.
+
+Instrumentation sites call :func:`span` / :func:`event` / :func:`count` /
+:func:`observe` unconditionally; when no session is active every call
+resolves to a shared no-op handle, so disabled telemetry costs one
+attribute load and a falsy check per site.  That is the mechanism behind
+the <3% overhead guarantee — there is no per-site ``if policy.telemetry``
+plumbing anywhere in the funnel.
+
+Scoping: the active session lives in a :class:`contextvars.ContextVar`
+(so nested sessions restore correctly) with a module-global mirror that
+lets pool threads — which do not inherit the submitting thread's context
+— reach the coordinator's session.
+
+Cross-process path: process-pool workers are armed by the pool
+initializer (:func:`arm_process_worker`), record spans into a private
+local collector, and every shard task drains that collector into a
+compact wire payload (:func:`drain_worker_payload`) that rides back to
+the coordinator on the existing shard result / supervision harvest.
+:func:`ingest_worker_payload` merges it into the live session,
+correcting for monotonic-epoch skew when the worker's paired
+(monotonic, wall) anchor disagrees with the coordinator's.
+"""
+
+from __future__ import annotations
+
+import contextvars
+from contextlib import contextmanager
+from typing import Optional
+
+from . import clock
+from .metrics import MetricsRegistry
+from .spans import DEFAULT_CAPACITY, WORKER, Span, TraceCollector
+
+__all__ = [
+    "TelemetrySession",
+    "session",
+    "active",
+    "enabled",
+    "span",
+    "event",
+    "count",
+    "gauge",
+    "observe",
+    "arm_process_worker",
+    "worker_armed",
+    "drain_worker_payload",
+    "ingest_worker_payload",
+    "record_span",
+]
+
+# Beyond this, the worker's monotonic clock does not share the
+# coordinator's epoch (per-process monotonic platform, or a container
+# boundary) and span starts are re-anchored via the wall-clock pair.
+# Below it, the delta is scheduling noise and correcting would jitter
+# spans that already share an epoch.
+MAX_CLOCK_SKEW_S = 0.5
+
+WORKER_CAPACITY = 8192
+
+
+class TelemetrySession:
+    """One campaign's worth of spans + metrics, coordinator side."""
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY):
+        self.spans = TraceCollector(capacity)
+        self.metrics = MetricsRegistry()
+        self.anchor_monotonic, self.anchor_wall = clock.anchor()
+
+
+_ACTIVE: contextvars.ContextVar = contextvars.ContextVar(
+    "repro_telemetry_session", default=None
+)
+_GLOBAL: Optional[TelemetrySession] = None
+
+# Set only inside armed process-pool workers.
+_WORKER_INDEX: Optional[int] = None
+_WORKER_SPANS: Optional[TraceCollector] = None
+_WORKER_METRICS: Optional[MetricsRegistry] = None
+
+
+def active() -> Optional[TelemetrySession]:
+    """The session visible from this thread (context first, then global)."""
+    sess = _ACTIVE.get()
+    if sess is not None:
+        return sess
+    return _GLOBAL
+
+
+def enabled() -> bool:
+    return _WORKER_SPANS is not None or active() is not None
+
+
+@contextmanager
+def session(enabled: bool = True, capacity: int = DEFAULT_CAPACITY):
+    """Activate a telemetry session for the duration of the block.
+
+    ``enabled=False`` yields ``None`` and leaves every instrumentation
+    site on the no-op path, so callers can write
+    ``with telemetry.session(policy.telemetry) as sess:`` unconditionally.
+    """
+    global _GLOBAL
+    if not enabled:
+        yield None
+        return
+    sess = TelemetrySession(capacity)
+    token = _ACTIVE.set(sess)
+    prev_global = _GLOBAL
+    _GLOBAL = sess
+    try:
+        yield sess
+    finally:
+        _ACTIVE.reset(token)
+        _GLOBAL = prev_global
+
+
+class _SpanHandle:
+    """Live span: records itself on ``__exit__``."""
+
+    __slots__ = ("_name", "_category", "_attrs", "_start")
+
+    def __init__(self, name: str, category: str, attrs: Optional[dict]):
+        self._name = name
+        self._category = category
+        self._attrs = attrs
+        self._start = 0.0
+
+    def set(self, **attrs) -> "_SpanHandle":
+        if self._attrs is None:
+            self._attrs = {}
+        self._attrs.update(attrs)
+        return self
+
+    def __enter__(self) -> "_SpanHandle":
+        self._start = clock.monotonic()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        duration = clock.monotonic() - self._start
+        if exc_type is not None:
+            self.set(error=exc_type.__name__)
+        _record(
+            self._name, self._category, self._start, duration, self._attrs
+        )
+
+
+class _NullSpan:
+    """Shared no-op handle returned when telemetry is off."""
+
+    __slots__ = ()
+
+    def set(self, **attrs) -> "_NullSpan":
+        return self
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        return None
+
+
+_NULL_SPAN = _NullSpan()
+
+
+def _record(
+    name: str,
+    category: str,
+    start_s: float,
+    duration_s: float,
+    attrs: Optional[dict],
+) -> None:
+    if _WORKER_SPANS is not None:
+        _WORKER_SPANS.record(
+            Span(
+                name=name,
+                category=category,
+                start_s=start_s,
+                duration_s=duration_s,
+                proc=WORKER,
+                worker=_WORKER_INDEX if _WORKER_INDEX is not None else -1,
+                attrs=attrs,
+            )
+        )
+        return
+    sess = active()
+    if sess is not None:
+        sess.spans.record(
+            Span(
+                name=name,
+                category=category,
+                start_s=start_s,
+                duration_s=duration_s,
+                attrs=attrs,
+            )
+        )
+
+
+def span(name: str, category: str = "app", **attrs):
+    """A context manager timing the enclosed block; no-op when disabled."""
+    if _WORKER_SPANS is None and active() is None:
+        return _NULL_SPAN
+    return _SpanHandle(name, category, attrs or None)
+
+
+def event(name: str, category: str = "event", **attrs) -> None:
+    """A zero-duration span marking a point in time."""
+    if _WORKER_SPANS is None and active() is None:
+        return
+    _record(name, category, clock.monotonic(), 0.0, attrs or None)
+
+
+def record_span(
+    name: str,
+    category: str,
+    start_s: float,
+    duration_s: float,
+    proc: str = "coordinator",
+    worker: int = -1,
+    attrs: Optional[dict] = None,
+) -> None:
+    """Record a span with explicit timing directly into the active session.
+
+    For callers that already hold their own clock readings (the supervisor's
+    dispatch→complete round trips) or need a non-default lane (thread-pool
+    workers share the coordinator's address space but render on worker
+    lanes).  No-op without an active session.
+    """
+    sess = active()
+    if sess is not None:
+        sess.spans.record(
+            Span(
+                name=name,
+                category=category,
+                start_s=start_s,
+                duration_s=duration_s,
+                proc=proc,
+                worker=worker,
+                attrs=attrs,
+            )
+        )
+
+
+def _registry() -> Optional[MetricsRegistry]:
+    if _WORKER_METRICS is not None:
+        return _WORKER_METRICS
+    sess = active()
+    return sess.metrics if sess is not None else None
+
+
+def count(name: str, amount: float = 1.0) -> None:
+    reg = _registry()
+    if reg is not None:
+        reg.counter(name).inc(amount)
+
+
+def gauge(name: str, value: float) -> None:
+    reg = _registry()
+    if reg is not None:
+        reg.gauge(name).set(value)
+
+
+def observe(name: str, value: float) -> None:
+    reg = _registry()
+    if reg is not None:
+        reg.histogram(name).observe(value)
+
+
+# -- process-worker side -------------------------------------------------
+
+
+def arm_process_worker(worker_index: int, enabled: bool) -> None:
+    """Initialize telemetry inside a pool worker process.
+
+    Always clears any coordinator session inherited through ``fork`` —
+    a forked child must never write into the parent's (copied) ring —
+    then, when enabled, installs a private worker-lane collector.
+    Thread-pool workers never call this: they share the coordinator's
+    address space and record into the live session directly.
+    """
+    global _GLOBAL, _WORKER_INDEX, _WORKER_SPANS, _WORKER_METRICS
+    _GLOBAL = None
+    _ACTIVE.set(None)
+    if enabled:
+        _WORKER_INDEX = worker_index
+        _WORKER_SPANS = TraceCollector(WORKER_CAPACITY)
+        _WORKER_METRICS = MetricsRegistry()
+    else:
+        _WORKER_INDEX = None
+        _WORKER_SPANS = None
+        _WORKER_METRICS = None
+
+
+def worker_armed() -> bool:
+    return _WORKER_SPANS is not None
+
+
+def drain_worker_payload() -> Optional[tuple]:
+    """Drain this worker's spans/metrics into a compact wire payload.
+
+    Returns ``None`` when the worker is not armed (the shard result then
+    stays a plain 2-tuple, preserving the telemetry-off wire format).
+    Called at the end of every shard task so a worker killed mid-shard
+    loses at most that shard's spans.
+    """
+    global _WORKER_METRICS
+    if _WORKER_SPANS is None or _WORKER_METRICS is None:
+        return None
+    wire = [s.to_wire() for s in _WORKER_SPANS.drain()]
+    metrics = _WORKER_METRICS.to_dict()
+    if metrics:
+        _WORKER_METRICS = MetricsRegistry()
+    return (wire, metrics, clock.anchor())
+
+
+# -- coordinator-side ingest --------------------------------------------
+
+
+def ingest_worker_payload(payload: Optional[tuple]) -> None:
+    """Merge a worker payload into the active session, aligning clocks.
+
+    On Linux both processes read the same system-wide CLOCK_MONOTONIC,
+    so the offset is ~0 and spans merge untouched.  When the anchors
+    disagree by more than :data:`MAX_CLOCK_SKEW_S` the worker's spans
+    are translated onto the coordinator's monotonic timeline using the
+    wall-clock pair as the common reference.
+    """
+    sess = active()
+    if sess is None or payload is None:
+        return
+    wire_spans, metrics, (anchor_mono, anchor_wall) = payload
+    offset = (anchor_wall - anchor_mono) - (
+        sess.anchor_wall - sess.anchor_monotonic
+    )
+    if abs(offset) <= MAX_CLOCK_SKEW_S:
+        offset = 0.0
+    for wire in wire_spans:
+        sess.spans.record(Span.from_wire(wire).shifted(offset))
+    if metrics:
+        sess.metrics.merge(metrics)

@@ -47,10 +47,10 @@ def dedent(snippet: str) -> str:
 # registry / framework
 # --------------------------------------------------------------------------- #
 class TestFramework:
-    def test_seven_rules_registered(self):
+    def test_eight_rules_registered(self):
         assert sorted(registered_rules()) == [
             "REP001", "REP002", "REP003", "REP004", "REP005", "REP006",
-            "REP007",
+            "REP007", "REP008",
         ]
 
     def test_default_rules_are_fresh_instances_in_id_order(self):
@@ -551,6 +551,48 @@ class TestShmLifecycleRule:
 
 
 # --------------------------------------------------------------------------- #
+# REP008 — clock-discipline
+# --------------------------------------------------------------------------- #
+class TestClockDiscipline:
+    def test_time_time_flagged(self):
+        findings = analyze_source("import time\nstamp = time.time()\n", APP_PATH)
+        assert [(f.rule, f.name) for f in findings] == [
+            ("REP008", "clock-discipline")
+        ]
+        assert "wall clock" in findings[0].message
+        assert "clock.monotonic" in findings[0].hint
+
+    def test_other_wall_reads_flagged(self):
+        for call in ("time.time_ns()", "time.localtime()", "time.gmtime()",
+                     "time.ctime()"):
+            findings = analyze_source(f"value = {call}\n", APP_PATH)
+            assert [f.rule for f in findings] == ["REP008"], call
+
+    def test_datetime_shapes_flagged(self):
+        for call in ("datetime.now()", "datetime.utcnow()", "date.today()"):
+            findings = analyze_source(f"value = {call}\n", APP_PATH)
+            assert [f.rule for f in findings] == ["REP008"], call
+
+    def test_monotonic_clocks_clean(self):
+        # the safe duration clocks are not the hazard, only wall reads are
+        for call in ("time.monotonic()", "time.perf_counter()", "time.sleep(1)"):
+            assert analyze_source(f"value = {call}\n", APP_PATH) == [], call
+
+    def test_non_clock_receivers_clean(self):
+        # .time()/.now() on arbitrary receivers is not a clock read
+        assert analyze_source("value = lap.time()\n", APP_PATH) == []
+        assert analyze_source("value = feed.now()\n", APP_PATH) == []
+
+    def test_telemetry_layer_exempt(self):
+        source = "import time\nstamp = time.time()\n"
+        assert analyze_source(source, "src/repro/telemetry/clock.py") == []
+
+    def test_pragma_blesses_calendar_site(self):
+        source = "stamp = time.time()  # repro: allow[clock-discipline]\n"
+        assert analyze_source(source, APP_PATH) == []
+
+
+# --------------------------------------------------------------------------- #
 # pragmas
 # --------------------------------------------------------------------------- #
 class TestPragmas:
@@ -807,6 +849,7 @@ class TestSelfScan:
                 """
             ),
             "REP006": "value = future.result()\n",
+            "REP008": "stamp = time.time()\n",
         }
         for rule_id, source in seeded.items():
             findings = analyze_source(source, APP_PATH)

@@ -1,0 +1,589 @@
+"""Tests for ``repro.telemetry`` — spans, metrics, cross-process merge.
+
+Fast tier: the ring-buffer collector, the metrics registry, the no-op
+guarantee when no session is active, the worker-payload wire path (including
+monotonic-skew correction), trace/metrics artifacts and their renderers,
+engine integration (telemetry on vs off must be bit-identical — the
+observability layer can never perturb results), span survival across a real
+worker SIGKILL, and the registry/CLI surface (``trace``, ``ls --json``).
+
+Slow tier (``pytest -m slow``): the on/off bit-identity matrix across
+batched/sharded execution and every shard transport (pickle, shm, threads).
+"""
+
+from __future__ import annotations
+
+import io
+import json
+
+import numpy as np
+import pytest
+
+from repro import telemetry
+from repro.engine import BatchedQueryEngine, ShardedQueryEngine
+from repro.exceptions import StoreError
+from repro.faults import FaultPlan, RetryPolicy
+from repro.store import RunRegistry
+from repro.store.cli import main as cli_main
+from repro.telemetry import (
+    MAX_CLOCK_SKEW_S,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    Span,
+    TelemetrySession,
+    TraceCollector,
+    chrome_trace_events,
+    metrics_document,
+    read_trace,
+    render_timeline,
+    write_trace,
+)
+
+
+# --------------------------------------------------------------------------- #
+# spans + collector
+# --------------------------------------------------------------------------- #
+class TestSpan:
+    def test_lane_and_end(self):
+        s = Span("shard-0", "shard", start_s=1.0, duration_s=0.5)
+        assert s.lane == "coordinator"
+        assert s.end_s == 1.5
+        w = Span("shard-0", "shard", 1.0, 0.5, proc="worker", worker=3)
+        assert w.lane == "worker-3"
+
+    def test_shifted_translates_start_only(self):
+        s = Span("a", "app", 2.0, 0.25)
+        t = s.shifted(1.5)
+        assert (t.start_s, t.duration_s) == (3.5, 0.25)
+        assert s.shifted(0.0) is s  # no-copy fast path
+
+    def test_wire_round_trip(self):
+        s = Span("a", "app", 2.0, 0.25, proc="worker", worker=1, attrs={"k": 1})
+        assert Span.from_wire(s.to_wire()) == s
+
+    def test_to_dict_omits_empty_attrs(self):
+        assert "attrs" not in Span("a", "app", 0.0, 0.0).to_dict()
+        assert Span("a", "app", 0.0, 0.0, attrs={"k": 1}).to_dict()["attrs"] == {
+            "k": 1
+        }
+
+
+class TestTraceCollector:
+    def test_records_in_order(self):
+        collector = TraceCollector(capacity=8)
+        for i in range(5):
+            collector.record(Span(f"s{i}", "app", float(i), 0.0))
+        assert [s.name for s in collector.snapshot()] == [f"s{i}" for i in range(5)]
+        assert len(collector) == 5
+        assert collector.dropped == 0
+
+    def test_ring_overwrites_oldest_and_counts_drops(self):
+        collector = TraceCollector(capacity=4)
+        for i in range(7):
+            collector.record(Span(f"s{i}", "app", float(i), 0.0))
+        assert [s.name for s in collector.snapshot()] == ["s3", "s4", "s5", "s6"]
+        assert collector.dropped == 3
+
+    def test_drain_clears_but_keeps_drop_count(self):
+        collector = TraceCollector(capacity=2)
+        for i in range(3):
+            collector.record(Span(f"s{i}", "app", float(i), 0.0))
+        assert [s.name for s in collector.drain()] == ["s1", "s2"]
+        assert len(collector) == 0
+        assert collector.snapshot() == []
+        assert collector.dropped == 1
+
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError):
+            TraceCollector(capacity=0)
+
+
+# --------------------------------------------------------------------------- #
+# metrics
+# --------------------------------------------------------------------------- #
+class TestMetrics:
+    def test_counter(self):
+        c = Counter()
+        c.inc()
+        c.inc(2.5)
+        assert c.to_dict() == {"type": "counter", "value": 3.5}
+        with pytest.raises(ValueError):
+            c.inc(-1)
+
+    def test_gauge_merge_incoming_wins(self):
+        g = Gauge()
+        g.set(1.0)
+        g.merge({"type": "gauge", "value": 7.0})
+        assert g.to_dict()["value"] == 7.0
+
+    def test_histogram_buckets_and_stats(self):
+        h = Histogram(bounds=(1.0, 10.0))
+        for value in (0.5, 5.0, 50.0):
+            h.observe(value)
+        d = h.to_dict()
+        assert d["counts"] == [1, 1, 1]
+        assert d["count"] == 3
+        assert d["min"] == 0.5 and d["max"] == 50.0
+        assert h.mean == pytest.approx(55.5 / 3)
+
+    def test_histogram_merge_is_pointwise(self):
+        a, b = Histogram(bounds=(1.0,)), Histogram(bounds=(1.0,))
+        a.observe(0.5)
+        b.observe(2.0)
+        a.merge(b.to_dict())
+        assert a.to_dict()["counts"] == [1, 1]
+        assert a.to_dict()["min"] == 0.5 and a.to_dict()["max"] == 2.0
+        with pytest.raises(ValueError, match="different bounds"):
+            a.merge(Histogram(bounds=(2.0,)).to_dict())
+
+    def test_registry_get_or_create_and_kind_clash(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a") is reg.counter("a")
+        with pytest.raises(TypeError, match="already registered"):
+            reg.gauge("a")
+
+    def test_registry_to_dict_sorted_and_merge(self):
+        reg = MetricsRegistry()
+        reg.counter("z.last").inc()
+        reg.counter("a.first").inc(2)
+        assert list(reg.to_dict()) == ["a.first", "z.last"]
+        other = MetricsRegistry()
+        other.merge(reg.to_dict())
+        other.merge(reg.to_dict())
+        assert other.to_dict()["a.first"]["value"] == 4.0
+
+
+# --------------------------------------------------------------------------- #
+# session API
+# --------------------------------------------------------------------------- #
+class TestSessionApi:
+    def test_everything_is_noop_without_session(self):
+        # must not raise, allocate a session, or record anywhere
+        with telemetry.span("unit", "app") as handle:
+            handle.set(key="value")
+        telemetry.event("unit")
+        telemetry.count("unit.count")
+        telemetry.observe("unit.hist", 1.0)
+        telemetry.gauge("unit.gauge", 1.0)
+        telemetry.record_span("unit", "app", 0.0, 1.0)
+        assert telemetry.active() is None
+        assert not telemetry.enabled()
+
+    def test_disabled_session_yields_none(self):
+        with telemetry.session(enabled=False) as sess:
+            assert sess is None
+            assert not telemetry.enabled()
+
+    def test_session_records_spans_and_metrics(self):
+        with telemetry.session() as sess:
+            assert telemetry.enabled()
+            with telemetry.span("work", "engine", rows=4):
+                pass
+            telemetry.event("marker", "fault", worker=1)
+            telemetry.count("c", 2)
+            telemetry.observe("h", 0.5)
+            telemetry.gauge("g", 3.0)
+        spans = sess.spans.snapshot()
+        assert [s.name for s in spans] == ["work", "marker"]
+        assert spans[0].attrs == {"rows": 4}
+        assert spans[1].duration_s == 0.0
+        metrics = sess.metrics.to_dict()
+        assert metrics["c"]["value"] == 2.0
+        assert metrics["h"]["count"] == 1
+        assert metrics["g"]["value"] == 3.0
+        assert telemetry.active() is None  # deactivated on exit
+
+    def test_nested_sessions_restore_outer(self):
+        with telemetry.session() as outer:
+            with telemetry.session() as inner:
+                assert telemetry.active() is inner
+            assert telemetry.active() is outer
+
+    def test_span_records_error_attr_on_exception(self):
+        with telemetry.session() as sess:
+            with pytest.raises(RuntimeError):
+                with telemetry.span("boom", "app"):
+                    raise RuntimeError("x")
+        (span,) = sess.spans.snapshot()
+        assert span.attrs["error"] == "RuntimeError"
+
+    def test_record_span_places_explicit_lane(self):
+        with telemetry.session() as sess:
+            telemetry.record_span("t", "shard", 1.0, 0.5, proc="worker", worker=2)
+        (span,) = sess.spans.snapshot()
+        assert span.lane == "worker-2"
+        assert (span.start_s, span.duration_s) == (1.0, 0.5)
+
+
+# --------------------------------------------------------------------------- #
+# worker payload wire path
+# --------------------------------------------------------------------------- #
+class TestWorkerPayload:
+    @pytest.fixture(autouse=True)
+    def _disarm(self):
+        yield
+        telemetry.arm_process_worker(0, enabled=False)
+
+    def test_unarmed_drain_returns_none(self):
+        assert telemetry.drain_worker_payload() is None
+        assert not telemetry.worker_armed()
+
+    def test_armed_worker_records_on_worker_lane(self):
+        telemetry.arm_process_worker(1, enabled=True)
+        assert telemetry.worker_armed()
+        with telemetry.span("shard-0", "shard"):
+            pass
+        telemetry.count("w.count")
+        wire, metrics, (mono, wall) = telemetry.drain_worker_payload()
+        assert len(wire) == 1
+        assert Span.from_wire(wire[0]).lane == "worker-1"
+        assert metrics["w.count"]["value"] == 1.0
+        assert mono > 0 and wall > 0
+        # drain resets: a second drain carries nothing
+        wire2, metrics2, _ = telemetry.drain_worker_payload()
+        assert wire2 == [] and metrics2 == {}
+
+    def test_arming_clears_inherited_session(self):
+        # a forked child must never write into the parent's copied ring
+        with telemetry.session():
+            telemetry.arm_process_worker(0, enabled=False)
+            assert telemetry.active() is None
+            assert not telemetry.enabled()
+
+    def test_ingest_merges_spans_and_metrics(self):
+        telemetry.arm_process_worker(2, enabled=True)
+        with telemetry.span("shard-5", "shard"):
+            pass
+        telemetry.count("engine.rows", 8)
+        payload = telemetry.drain_worker_payload()
+        telemetry.arm_process_worker(0, enabled=False)
+        with telemetry.session() as sess:
+            telemetry.ingest_worker_payload(payload)
+            telemetry.ingest_worker_payload(None)  # telemetry-off worker
+        assert [s.lane for s in sess.spans.snapshot()] == ["worker-2"]
+        assert sess.metrics.to_dict()["engine.rows"]["value"] == 8.0
+
+    def test_skew_beyond_threshold_is_corrected(self):
+        with telemetry.session() as sess:
+            # a worker whose monotonic epoch lags the coordinator's by 100s:
+            # same wall clock, monotonic anchor 100s smaller
+            skew = 100.0
+            wire = [
+                Span(
+                    "shard-0",
+                    "shard",
+                    start_s=sess.anchor_monotonic - skew,
+                    duration_s=0.1,
+                    proc="worker",
+                    worker=0,
+                ).to_wire()
+            ]
+            anchor = (sess.anchor_monotonic - skew, sess.anchor_wall)
+            telemetry.ingest_worker_payload((wire, {}, anchor))
+        (span,) = sess.spans.snapshot()
+        assert span.start_s == pytest.approx(sess.anchor_monotonic, abs=1e-6)
+
+    def test_skew_below_threshold_left_alone(self):
+        with telemetry.session() as sess:
+            jitter = MAX_CLOCK_SKEW_S / 2
+            start = sess.anchor_monotonic + 1.0
+            wire = [Span("s", "shard", start, 0.1, "worker", 0).to_wire()]
+            anchor = (sess.anchor_monotonic - jitter, sess.anchor_wall)
+            telemetry.ingest_worker_payload((wire, {}, anchor))
+        (span,) = sess.spans.snapshot()
+        assert span.start_s == start
+
+
+# --------------------------------------------------------------------------- #
+# artifacts + renderers
+# --------------------------------------------------------------------------- #
+def _session_with_spans() -> TelemetrySession:
+    sess = TelemetrySession()
+    base = sess.anchor_monotonic
+    sess.spans.record(Span("dispatch.predict", "engine", base + 0.01, 0.05))
+    sess.spans.record(
+        Span("shard-0", "shard", base + 0.02, 0.02, proc="worker", worker=0)
+    )
+    sess.spans.record(
+        Span("shard-1", "shard", base + 0.02, 0.03, proc="worker", worker=1,
+             attrs={"rows": 16})
+    )
+    sess.metrics.counter("engine.rows").inc(32)
+    return sess
+
+
+class TestArtifacts:
+    def test_trace_round_trip_rebases_to_origin(self):
+        sess = _session_with_spans()
+        buffer = io.StringIO()
+        assert write_trace(buffer, sess) == 3
+        buffer.seek(0)
+        header, spans = read_trace(buffer)
+        assert header["version"] == 1
+        assert header["spans"] == 3
+        assert header["dropped"] == 0
+        # rebased: every start is relative to the session anchor
+        assert min(s.start_s for s in spans) == pytest.approx(0.01)
+        assert {s.lane for s in spans} == {"coordinator", "worker-0", "worker-1"}
+        assert spans[-1].attrs == {"rows": 16}
+
+    def test_read_trace_rejects_garbage(self):
+        with pytest.raises(ValueError, match="empty trace"):
+            read_trace(io.StringIO(""))
+        bad = io.StringIO(json.dumps({"version": 99}) + "\n")
+        with pytest.raises(ValueError, match="unsupported trace version"):
+            read_trace(bad)
+
+    def test_metrics_document_shape(self):
+        doc = metrics_document(_session_with_spans())
+        assert doc["version"] == 1
+        assert doc["spans_recorded"] == 3
+        assert doc["spans_dropped"] == 0
+        assert doc["metrics"]["engine.rows"]["value"] == 32.0
+
+    def test_chrome_events(self):
+        sess = _session_with_spans()
+        buffer = io.StringIO()
+        write_trace(buffer, sess)
+        buffer.seek(0)
+        header, spans = read_trace(buffer)
+        events = chrome_trace_events(header, spans)
+        xs = [e for e in events if e["ph"] == "X"]
+        metas = [e for e in events if e["ph"] == "M"]
+        assert len(xs) == 3
+        # coordinator lane is tid 0, worker N renders as tid N+1
+        assert [e["tid"] for e in xs] == [0, 1, 2]
+        assert all(e["ts"] >= 0 for e in xs)
+        named = {e["args"]["name"] for e in metas if e["name"] == "thread_name"}
+        assert named == {"coordinator", "worker-0", "worker-1"}
+
+    def test_render_timeline_contents(self):
+        sess = _session_with_spans()
+        buffer = io.StringIO()
+        write_trace(buffer, sess)
+        buffer.seek(0)
+        rendered = render_timeline(*read_trace(buffer))
+        assert "coordinator" in rendered
+        assert "worker-0" in rendered and "worker-1" in rendered
+        assert "shard-1" in rendered
+        assert "3 spans" in rendered
+
+    def test_render_timeline_empty(self):
+        assert "trace is empty" in render_timeline({"dropped": 0}, [])
+
+
+# --------------------------------------------------------------------------- #
+# engine integration: bit-identity and cross-process merge
+# --------------------------------------------------------------------------- #
+class TestEngineIntegration:
+    def test_batched_engine_metrics(
+        self, trained_cluster_model, operational_cluster_data
+    ):
+        engine = BatchedQueryEngine(trained_cluster_model, batch_size=8)
+        x = operational_cluster_data.x[:20]
+        baseline = engine.predict_proba(x)
+        with telemetry.session() as sess:
+            np.testing.assert_array_equal(engine.predict_proba(x), baseline)
+        metrics = sess.metrics.to_dict()
+        assert metrics["engine.rows"]["value"] == 20.0
+        assert metrics["engine.model_calls"]["value"] == 3.0  # ceil(20/8)
+        assert metrics["engine.chunk_latency_s"]["count"] == 3
+
+    def test_sharded_engine_merges_worker_spans(
+        self, trained_cluster_model, operational_cluster_data
+    ):
+        x = operational_cluster_data.x[:32]
+        with ShardedQueryEngine(
+            trained_cluster_model, batch_size=4, num_workers=2
+        ) as engine:
+            off = engine.predict_proba(x)
+            with telemetry.session() as sess:
+                on = engine.predict_proba(x)
+        # the observability layer can never perturb results
+        np.testing.assert_array_equal(on, off)
+        spans = sess.spans.snapshot()
+        lanes = {s.lane for s in spans}
+        # worker spans crossed the process boundary and merged
+        assert {"coordinator", "worker-0", "worker-1"} <= lanes
+        cats = {s.category for s in spans}
+        assert {"engine", "dispatch", "shard"} <= cats
+        metrics = sess.metrics.to_dict()
+        assert metrics["engine.rows"]["value"] == 32.0
+        assert metrics["transport.dispatch.pickle"]["value"] >= 1.0
+
+    def test_sharded_threads_records_worker_lanes(
+        self, trained_cluster_model, operational_cluster_data
+    ):
+        x = operational_cluster_data.x[:16]
+        with ShardedQueryEngine(
+            trained_cluster_model, batch_size=4, num_workers=2,
+            transport="threads",
+        ) as engine:
+            off = engine.predict_proba(x)
+            with telemetry.session() as sess:
+                on = engine.predict_proba(x)
+        np.testing.assert_array_equal(on, off)
+        shard_lanes = {
+            s.lane for s in sess.spans.snapshot() if s.category == "shard"
+        }
+        assert shard_lanes and all(l.startswith("worker-") for l in shard_lanes)
+
+    def test_spans_survive_worker_sigkill(
+        self, trained_cluster_model, operational_cluster_data
+    ):
+        # a worker SIGKILLed mid-campaign loses at most its in-flight shard's
+        # spans; the harvest path never hangs and the merge never corrupts
+        x = operational_cluster_data.x[:32]
+        with ShardedQueryEngine(
+            trained_cluster_model, batch_size=6, num_workers=2
+        ) as clean:
+            expected = clean.predict_proba(x)
+        engine = ShardedQueryEngine(
+            trained_cluster_model,
+            batch_size=6,
+            num_workers=2,
+            retry=RetryPolicy(backoff_base_s=0.0),
+            faults=FaultPlan(kills=((1, 1),)),
+        )
+        try:
+            with telemetry.session() as sess:
+                np.testing.assert_array_equal(engine.predict_proba(x), expected)
+            assert engine.stats.worker_respawns >= 1
+        finally:
+            engine.close()
+        spans = sess.spans.snapshot()
+        # the death was observed and recorded as a fault event...
+        down = [s for s in spans if s.name == "fault.worker_down"]
+        assert down and down[0].category == "fault"
+        # ...surviving workers' spans still merged across the boundary
+        assert any(s.proc == "worker" for s in spans)
+        metrics = sess.metrics.to_dict()
+        assert metrics["faults.worker_respawns"]["value"] >= 1.0
+        assert metrics["faults.shard_retries"]["value"] >= 1.0
+
+
+# --------------------------------------------------------------------------- #
+# registry + CLI surface
+# --------------------------------------------------------------------------- #
+class TestRegistryAndCli:
+    RUN_ARGS = [
+        "run",
+        "--scenario", "gaussian-clusters",
+        "--samples", "250",
+        "--epochs", "4",
+        "--iterations", "1",
+        "--budget", "60",
+        "--seeds-per-iteration", "4",
+        "--queries-per-seed", "6",
+        "--seed", "2021",
+        "--telemetry",
+    ]
+
+    def test_save_and_load_round_trip(self, tmp_path):
+        registry = RunRegistry(tmp_path)
+        run = registry.create("unit", {})
+        run.save_telemetry(_session_with_spans())
+        assert run.has_telemetry()
+        header, spans = run.load_trace()
+        assert header["spans"] == len(spans) == 3
+        assert run.load_metrics()["metrics"]["engine.rows"]["value"] == 32.0
+
+    def test_load_trace_missing_names_the_knob(self, tmp_path):
+        registry = RunRegistry(tmp_path)
+        run = registry.create("unit", {})
+        assert not run.has_telemetry()
+        with pytest.raises(StoreError, match="telemetry"):
+            run.load_trace()
+        with pytest.raises(StoreError, match="metrics.json"):
+            run.load_metrics()
+
+    def test_cli_campaign_stores_and_renders_trace(self, tmp_path, capsys):
+        base = ["--runs-dir", str(tmp_path / "runs")]
+        assert cli_main(base + self.RUN_ARGS) == 0
+        registry = RunRegistry(tmp_path / "runs")
+        run = registry.get("run-0001")
+        # --telemetry is recorded in the stored spec (reproducible identity)
+        assert run.config["spec"]["policy"]["telemetry"] is True
+        header, spans = run.load_trace()
+        assert header["spans"] == len(spans) > 0
+        assert run.load_metrics()["metrics"]
+        capsys.readouterr()
+        # the timeline renders from the stored artifact alone
+        assert cli_main(base + ["trace", "run-0001"]) == 0
+        rendered = capsys.readouterr().out
+        assert "coordinator" in rendered and "spans" in rendered
+        # chrome export parses
+        chrome = tmp_path / "chrome.json"
+        assert cli_main(base + ["trace", "run-0001", "--chrome", str(chrome)]) == 0
+        doc = json.loads(chrome.read_text())
+        assert doc["traceEvents"]
+        capsys.readouterr()
+        # raw JSON dump parses and matches the span count
+        assert cli_main(base + ["trace", "run-0001", "--json"]) == 0
+        raw = json.loads(capsys.readouterr().out)
+        assert len(raw["spans"]) == header["spans"]
+        # show surfaces fault counters and the telemetry summary
+        assert cli_main(base + ["show", "run-0001"]) == 0
+        shown = capsys.readouterr().out
+        assert "fault counters" in shown
+        assert "telemetry:" in shown
+        # ls --json is machine-readable and flags telemetry
+        assert cli_main(base + ["ls", "--json"]) == 0
+        listing = json.loads(capsys.readouterr().out)
+        assert listing[0]["run_id"] == "run-0001"
+        assert listing[0]["has_telemetry"] is True
+        assert listing[0]["fault_counters"]["worker_respawns"] == 0
+
+    def test_trace_without_artifact_errors(self, tmp_path, capsys):
+        registry = RunRegistry(tmp_path / "runs")
+        registry.create("bare", {})
+        assert cli_main(["--runs-dir", str(tmp_path / "runs"),
+                         "trace", "run-0001"]) == 1
+        assert "telemetry" in capsys.readouterr().err
+
+
+# --------------------------------------------------------------------------- #
+# slow tier: on/off bit-identity across the execution matrix
+# --------------------------------------------------------------------------- #
+@pytest.mark.slow
+class TestBitIdentityMatrix:
+    @pytest.mark.parametrize("transport", ["pickle", "shm", "threads"])
+    def test_sharded_transports(
+        self, transport, trained_cluster_model, cluster_naturalness,
+        operational_cluster_data,
+    ):
+        x = operational_cluster_data.x[:48]
+        y = operational_cluster_data.y[:48]
+        results = {}
+        for label, enabled in (("off", False), ("on", True)):
+            with ShardedQueryEngine(
+                trained_cluster_model,
+                naturalness=cluster_naturalness,
+                batch_size=5,
+                num_workers=2,
+                transport=transport,
+            ) as engine:
+                with telemetry.session(enabled=enabled):
+                    results[label] = (
+                        engine.predict_proba(x),
+                        engine.loss_input_gradient(x, y),
+                        engine.score_naturalness(x),
+                        engine.stats.as_dict(),
+                    )
+        for on, off in zip(results["on"][:3], results["off"][:3]):
+            np.testing.assert_array_equal(on, off)
+        assert results["on"][3] == results["off"][3]
+
+    def test_batched(
+        self, trained_cluster_model, cluster_naturalness, operational_cluster_data
+    ):
+        x = operational_cluster_data.x[:48]
+        engine = BatchedQueryEngine(
+            trained_cluster_model, naturalness=cluster_naturalness, batch_size=5
+        )
+        off = engine.predict_proba(x)
+        with telemetry.session():
+            on = engine.predict_proba(x)
+        np.testing.assert_array_equal(on, off)
