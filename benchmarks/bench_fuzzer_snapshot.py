@@ -6,9 +6,11 @@ black-box attacks, and — since the sharded engine landed — a per-worker,
 per-transport scaling section on a medium (glyph-digit) scenario plus an
 IPC-overhead probe (a no-op model, so the timing isolates shard transport
 cost), a ``faults`` section (chaos overhead and bit-identity under worker
-kills, see ``bench_faults.py``) and a ``telemetry_overhead`` section
+kills, see ``bench_faults.py``), a ``telemetry_overhead`` section
 (observability costs <3% and never perturbs results, see
-``bench_telemetry.py``), and writes ``BENCH_fuzzer.json`` at the repository
+``bench_telemetry.py``) and a ``lint_performance`` section (a warm
+incremental ``repro lint`` beats cold by >=3x with identical findings, see
+``bench_lint.py``), and writes ``BENCH_fuzzer.json`` at the repository
 root so the throughput trajectory is tracked across PRs.
 
 Usage::
@@ -39,6 +41,10 @@ import numpy as np
 # module search path
 sys.path.insert(0, str(Path(__file__).resolve().parent))
 from bench_faults import faults_section, validate_faults_section  # noqa: E402
+from bench_lint import (  # noqa: E402
+    lint_performance_section,
+    validate_lint_performance_section,
+)
 from bench_telemetry import telemetry_section, validate_telemetry_section  # noqa: E402
 
 from repro.attacks import BoundaryNudge, GaussianNoise, RandomFuzz
@@ -389,6 +395,7 @@ def _validate_snapshot(path: Path) -> None:
         "ipc_overhead",
         "faults",
         "telemetry_overhead",
+        "lint_performance",
     ):
         if key not in snapshot:
             raise AssertionError(f"snapshot is missing the {key!r} section")
@@ -416,6 +423,7 @@ def _validate_snapshot(path: Path) -> None:
         )
     validate_faults_section(snapshot["faults"])
     validate_telemetry_section(snapshot["telemetry_overhead"])
+    validate_lint_performance_section(snapshot["lint_performance"])
 
 
 def main(output: str = "BENCH_fuzzer.json", worker_counts=(1, 2, 4)) -> dict:
@@ -445,6 +453,7 @@ def main(output: str = "BENCH_fuzzer.json", worker_counts=(1, 2, 4)) -> dict:
         "ipc_overhead": _ipc_overhead_section(),
         "faults": faults_section(),
         "telemetry_overhead": telemetry_section(),
+        "lint_performance": lint_performance_section(),
     }
     path = Path(output)
     path.write_text(json.dumps(snapshot, indent=2) + "\n")

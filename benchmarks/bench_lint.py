@@ -1,0 +1,114 @@
+"""Lint-cache benchmark: a warm ``repro lint`` must be much cheaper than cold.
+
+Times two back-to-back whole-program analyses of ``src/repro`` against a
+fresh cache directory: the **cold** run parses every file and writes the
+cache, the **warm** run must hit the cache for every file, reparse nothing,
+and produce the identical finding set.  The speedup is pure cache behaviour
+— per-file parsing and rule evaluation skipped, only the whole-program pass
+recomputed — so it holds on a single-core CI host where parallel-speedup
+numbers would be meaningless.
+
+Two properties are validator-enforced when the section is embedded in
+``BENCH_fuzzer.json`` (see ``benchmarks/bench_fuzzer_snapshot.py``):
+
+* ``warm_speedup >= 3.0`` — the incremental cache pays for itself;
+* ``findings_identical`` and ``warm.reparsed == 0`` — caching never changes
+  what the linter reports, it only skips re-deriving it.
+
+Standalone use::
+
+    PYTHONPATH=src python benchmarks/bench_lint.py [output.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import shutil
+import tempfile
+import time
+from pathlib import Path
+
+from repro.analysis import analyze_paths
+
+#: Validator floor on the cold/warm wall-time ratio.
+MIN_WARM_SPEEDUP = 3.0
+
+#: The tree the benchmark lints — the shipped package itself.
+LINT_TARGET = Path(__file__).resolve().parents[1] / "src" / "repro"
+
+
+def _timed_run(cache_dir: str) -> dict:
+    start = time.perf_counter()
+    result = analyze_paths([str(LINT_TARGET)], cache_dir=cache_dir)
+    elapsed = time.perf_counter() - start
+    return {
+        "wall_time_s": round(elapsed, 4),
+        "files_scanned": result.files_scanned,
+        "cache_hits": result.cache_hits,
+        "cache_misses": result.cache_misses,
+        "reparsed": len(result.reparsed),
+        "findings": len(result.findings),
+        "suppressed": result.suppressed,
+    }
+
+
+def lint_performance_section() -> dict:
+    scratch = tempfile.mkdtemp(prefix="repro-lint-bench-")
+    try:
+        cold = _timed_run(scratch)
+        warm = _timed_run(scratch)
+    finally:
+        shutil.rmtree(scratch, ignore_errors=True)
+    return {
+        "target": "src/repro",
+        "min_warm_speedup": MIN_WARM_SPEEDUP,
+        "cold": cold,
+        "warm": warm,
+        "warm_speedup": round(
+            cold["wall_time_s"] / max(warm["wall_time_s"], 1e-9), 2
+        ),
+        "findings_identical": (
+            cold["findings"] == warm["findings"]
+            and cold["suppressed"] == warm["suppressed"]
+        ),
+    }
+
+
+def validate_lint_performance_section(section: dict) -> None:
+    """The validator-enforced contracts: >=3x warm speedup, identical output."""
+    if not section["findings_identical"]:
+        raise AssertionError(
+            "warm lint run changed the finding set — the cache must only "
+            "skip work, never alter results"
+        )
+    warm = section["warm"]
+    if warm["reparsed"] != 0 or warm["cache_misses"] != 0:
+        raise AssertionError(
+            f"warm lint run was not fully cached: reparsed={warm['reparsed']} "
+            f"misses={warm['cache_misses']}"
+        )
+    floor = float(section["min_warm_speedup"])
+    if float(section["warm_speedup"]) < floor:
+        raise AssertionError(
+            f"warm lint speedup {section['warm_speedup']}x is below the "
+            f"{floor}x floor — the incremental cache is not paying for itself"
+        )
+
+
+def main(output: str = "") -> dict:
+    section = lint_performance_section()
+    validate_lint_performance_section(section)
+    rendered = json.dumps(section, indent=2)
+    print(rendered)
+    if output:
+        Path(output).write_text(rendered + "\n")
+        print(f"\nwrote {Path(output).resolve()}")
+    return section
+
+
+if __name__ == "__main__":
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("output", nargs="?", default="")
+    args = parser.parse_args()
+    main(args.output)

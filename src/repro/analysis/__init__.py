@@ -9,12 +9,19 @@ tribal rules into a static guardrail:
 
 * a :class:`~repro.analysis.walker.Rule` protocol + registry with a
   single-parse, single-walk dispatcher (:func:`analyze_paths`);
-* structured :class:`~repro.analysis.findings.Finding` records with text and
-  JSON reporters;
+* a whole-program layer (:mod:`repro.analysis.program`) — cross-module symbol
+  table, call graph and taint/lock fixpoints — powering the
+  :class:`~repro.analysis.program.registry.ProgramRule` set (REP009 deadlock
+  detection, REP010 interprocedural funnel escape, REP011 iteration-order
+  nondeterminism), with per-file results cached on disk by content hash so a
+  warm ``python -m repro lint`` re-analyzes only what changed;
+* structured :class:`~repro.analysis.findings.Finding` records with text,
+  JSON and SARIF 2.1.0 reporters (the SARIF log feeds GitHub code scanning);
 * inline suppression pragmas (``# repro: allow[rule-id]``) for intentional,
-  justified exceptions;
+  justified exceptions — pragma spans cover decorated statements whole;
 * a committed :class:`~repro.analysis.baseline.Baseline` so pre-existing debt
-  is tracked without blocking CI.
+  is tracked without blocking CI, and ``--explain RULE`` documentation pulled
+  straight from each rule's docstring.
 
 Run it as ``python -m repro lint`` (see :mod:`repro.analysis.cli`); a
 dedicated CI job fails on any non-baselined finding.  The package's own
@@ -25,9 +32,23 @@ the package root, which is where numpy comes in).
 
 from .baseline import DEFAULT_BASELINE, Baseline
 from .cli import main
+from .explain import explain_rule, rule_doc_sections
 from .findings import SEVERITIES, Finding, sort_findings
-from .pragmas import collect_pragmas, is_suppressed
+from .pragmas import collect_pragmas, expand_decorated_pragmas, is_suppressed
+from .program import (
+    ProgramAnalysis,
+    ProgramCache,
+    ProgramGraph,
+    ProgramRule,
+    analyze_program,
+    build_graph,
+    default_program_rules,
+    extract_facts,
+    register_program_rule,
+    registered_program_rules,
+)
 from .report import render_json, render_text
+from .sarif import render_sarif
 from .walker import (
     LintResult,
     ModuleContext,
@@ -45,17 +66,31 @@ __all__ = [
     "Finding",
     "LintResult",
     "ModuleContext",
+    "ProgramAnalysis",
+    "ProgramCache",
+    "ProgramGraph",
+    "ProgramRule",
     "Rule",
     "SEVERITIES",
     "analyze_paths",
+    "analyze_program",
     "analyze_source",
+    "build_graph",
     "collect_pragmas",
+    "default_program_rules",
     "default_rules",
+    "expand_decorated_pragmas",
+    "explain_rule",
+    "extract_facts",
     "is_suppressed",
     "main",
+    "register_program_rule",
     "register_rule",
+    "registered_program_rules",
     "registered_rules",
     "render_json",
+    "render_sarif",
     "render_text",
+    "rule_doc_sections",
     "sort_findings",
 ]

@@ -81,4 +81,39 @@ def is_suppressed(pragmas: Dict[int, Set[str]], line: int, rule_id: str, name: s
     return "*" in allowed or rule_id.lower() in allowed or name.lower() in allowed
 
 
-__all__ = ["PRAGMA_PATTERN", "collect_pragmas", "is_suppressed"]
+def expand_decorated_pragmas(tree, pragmas: Dict[int, Set[str]]) -> Dict[int, Set[str]]:
+    """Attach pragmas to the whole decorated statement span.
+
+    Decorators split one logical statement across several lines: a rule may
+    report at the ``def``/``class`` line while the pragma the author wrote
+    sits on (or blesses, via the standalone-comment form) the first
+    ``@decorator`` line — or vice versa.  Treat the span from the first
+    decorator through the ``def`` line as one statement: pragma ids found on
+    any line of the span apply to every line of the span.
+    """
+    import ast
+
+    expanded = {line: set(ids) for line, ids in pragmas.items()}
+    for node in ast.walk(tree):
+        decorators = getattr(node, "decorator_list", None)
+        if not decorators:
+            continue
+        span_start = min(dec.lineno for dec in decorators)
+        span_end = node.lineno  # the `def`/`class` line itself
+        ids: Set[str] = set()
+        for line in range(span_start, span_end + 1):
+            ids |= pragmas.get(line, set())
+        if not ids:
+            continue
+        for line in range(span_start, span_end + 1):
+            expanded.setdefault(line, set()).update(ids)
+    return expanded
+
+
+__all__ = [
+    "PRAGMA_PATTERN",
+    "collect_pragmas",
+    "expand_decorated_pragmas",
+    "is_suppressed",
+]
+

@@ -1,0 +1,161 @@
+"""On-disk content-hash cache: warm lint re-analyzes only changed files.
+
+One JSON file (``program-cache.json`` inside the cache directory) maps each
+analyzed path to its content hash plus the per-file analysis record — the
+per-file rule findings (already pragma-filtered), the suppressed count, the
+expanded pragma map, and the extracted :class:`~.facts.ModuleFacts`.  A warm
+run loads records for unchanged files and re-parses only what changed; the
+whole-program pass is then recomputed from facts, which is cheap next to
+parsing ~100 modules.
+
+Safety: the cache is keyed by an **analysis fingerprint** — a hash over the
+source of the entire ``repro.analysis`` package — so editing any rule, the
+walker, or the extractor invalidates every entry at once.  A corrupt or
+version-skewed cache file is treated as empty, never trusted.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Set, Tuple, Union
+
+from ..findings import Finding
+from .facts import ModuleFacts
+
+CACHE_VERSION = 1
+
+#: Default cache directory, repo-local and gitignored.
+DEFAULT_CACHE_DIR = ".repro-lint-cache"
+
+_FINGERPRINT: Optional[str] = None
+
+
+def analysis_fingerprint() -> str:
+    """Hash of the analyzer's own source: any rule edit drops the cache."""
+    global _FINGERPRINT
+    if _FINGERPRINT is None:
+        digest = hashlib.sha256(f"cache-v{CACHE_VERSION}".encode())
+        package_root = Path(__file__).resolve().parents[1]
+        for source in sorted(package_root.rglob("*.py")):
+            digest.update(source.as_posix().encode())
+            digest.update(source.read_bytes())
+        _FINGERPRINT = digest.hexdigest()
+    return _FINGERPRINT
+
+
+class FileRecord:
+    """Cached outcome of analyzing one file."""
+
+    def __init__(
+        self,
+        content_hash: str,
+        findings: List[Finding],
+        suppressed: int,
+        pragmas: Dict[int, Set[str]],
+        facts: ModuleFacts,
+    ) -> None:
+        self.content_hash = content_hash
+        self.findings = findings
+        self.suppressed = suppressed
+        self.pragmas = pragmas
+        self.facts = facts
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "content_hash": self.content_hash,
+            "findings": [finding.to_dict() for finding in self.findings],
+            "suppressed": self.suppressed,
+            "pragmas": {
+                str(line): sorted(ids) for line, ids in self.pragmas.items()
+            },
+            "facts": self.facts.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "FileRecord":
+        return cls(
+            content_hash=str(data["content_hash"]),
+            findings=[Finding.from_dict(row) for row in data["findings"]],
+            suppressed=int(data["suppressed"]),
+            pragmas={
+                int(line): set(ids) for line, ids in dict(data["pragmas"]).items()
+            },
+            facts=ModuleFacts.from_dict(dict(data["facts"])),
+        )
+
+
+class ProgramCache:
+    """The on-disk store of :class:`FileRecord` entries."""
+
+    def __init__(self, root: Union[str, Path]) -> None:
+        self.root = Path(root)
+        self.path = self.root / "program-cache.json"
+        self.fingerprint = analysis_fingerprint()
+        self.entries: Dict[str, FileRecord] = {}
+        self.hits = 0
+        self.misses = 0
+        self._dirty = False
+        self._load()
+
+    def _load(self) -> None:
+        if not self.path.exists():
+            return
+        try:
+            data = json.loads(self.path.read_text(encoding="utf-8"))
+            if (
+                data.get("version") != CACHE_VERSION
+                or data.get("fingerprint") != self.fingerprint
+            ):
+                return  # analyzer changed — start cold
+            for path, raw in data.get("entries", {}).items():
+                self.entries[path] = FileRecord.from_dict(raw)
+        except (json.JSONDecodeError, KeyError, TypeError, ValueError):
+            self.entries = {}  # corrupt cache: treat as empty, never trust
+
+    def get(self, path: str, content_hash: str) -> Optional[FileRecord]:
+        """Cached record for ``path`` when its content is unchanged."""
+        record = self.entries.get(path)
+        if record is not None and record.content_hash == content_hash:
+            self.hits += 1
+            return record
+        self.misses += 1
+        return None
+
+    def put(self, path: str, record: FileRecord) -> None:
+        self.entries[path] = record
+        self._dirty = True
+
+    def prune(self, live_paths: Set[str]) -> None:
+        """Drop entries for files no longer part of the analyzed set."""
+        stale = set(self.entries) - live_paths
+        for path in sorted(stale):
+            del self.entries[path]
+            self._dirty = True
+
+    def flush(self) -> None:
+        """Persist the cache (atomic rename; a torn write is a cold start)."""
+        if not self._dirty:
+            return
+        self.root.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "version": CACHE_VERSION,
+            "fingerprint": self.fingerprint,
+            "entries": {
+                path: record.to_dict() for path, record in sorted(self.entries.items())
+            },
+        }
+        scratch = self.path.with_suffix(".json.tmp")
+        scratch.write_text(json.dumps(payload), encoding="utf-8")
+        scratch.replace(self.path)
+        self._dirty = False
+
+
+__all__ = [
+    "CACHE_VERSION",
+    "DEFAULT_CACHE_DIR",
+    "FileRecord",
+    "ProgramCache",
+    "analysis_fingerprint",
+]

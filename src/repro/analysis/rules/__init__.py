@@ -27,11 +27,32 @@ REP008    clock-discipline  no wall-clock reads (``time.time()``/
                             ``datetime.now()``/…) outside ``repro.telemetry``;
                             durations/deadlines stay monotonic
 ========  ================  ====================================================
+
+REP001–REP008 are per-file rules (one module at a time); REP009–REP011 are
+whole-program rules run over the cross-module
+:class:`~repro.analysis.program.graph.ProgramGraph`:
+
+========  ================  ====================================================
+id        slug              contract
+========  ================  ====================================================
+REP009    lock-ordering     the cross-module lock-acquisition graph is acyclic
+                            and no thread re-acquires a non-reentrant lock it
+                            already holds (static deadlock detection)
+REP010    funnel-escape     model-typed values cannot dodge the engine funnel
+                            through helpers, returns or engine-named
+                            parameters (interprocedural REP001)
+REP011    iteration-order   no unordered set iteration feeds merged stats,
+                            serialized artifacts or shard planning
+                            (hash-order nondeterminism)
+========  ================  ====================================================
 """
 
 from .clocks import ClockDisciplineRule
+from .flow import FunnelEscapeRule
 from .funnel import EngineFunnelRule
+from .iteration import IterationOrderRule
 from .knobs import LegacyKnobRule
+from .lockorder import LockOrderingRule
 from .locks import LockDisciplineRule
 from .rng import RngDisciplineRule
 from .roundtrip import DictRoundTripRule
@@ -47,4 +68,7 @@ __all__ = [
     "TimeoutDisciplineRule",
     "ShmLifecycleRule",
     "ClockDisciplineRule",
+    "LockOrderingRule",
+    "FunnelEscapeRule",
+    "IterationOrderRule",
 ]

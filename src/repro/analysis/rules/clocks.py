@@ -48,6 +48,24 @@ DATETIME_RECEIVERS = frozenset({"datetime", "date"})
 
 @register_rule
 class ClockDisciplineRule(Rule):
+    """``time.time()`` can jump backwards under NTP adjustment, so durations
+    and deadlines computed from it are occasionally negative or wildly long —
+    flaky timeouts that reproduce never.  Wall-clock timestamps belong only
+    in ``repro.telemetry`` (where humans read them); all arithmetic uses the
+    monotonic clock.
+
+    Example::
+
+        start = time.time()
+        ...
+        if time.time() - start > budget_s:   # NTP step -> false timeout
+
+    Fix::
+
+        start = time.monotonic()
+        if time.monotonic() - start > budget_s:
+    """
+
     rule_id = "REP008"
     name = "clock-discipline"
     severity = "error"

@@ -42,6 +42,24 @@ MODELISH_NAMES = ("model", "network", "classifier")
 
 @register_rule
 class EngineFunnelRule(Rule):
+    """Every model query outside the funnel is unbatched, uncached, unsharded
+    and invisible to ``QueryStats`` — the four properties every scaling
+    feature (and the paper's query-budget accounting) relies on.  The call
+    still returns the right answer, which is exactly why only a static rule
+    catches it before the call site gets hot.
+
+    Example::
+
+        probs = self.model.predict_proba(batch)   # bypasses the funnel
+
+    Fix::
+
+        engine = policy.build_engine(self.model)  # batched/cached/counted
+        probs = engine.predict_proba(batch)
+        # genuinely whitebox access (gradient attacks, trainers) says why:
+        grad = model.loss_input_gradient(x, y)  # repro: allow[engine-funnel] whitebox by design
+    """
+
     rule_id = "REP001"
     name = "engine-funnel"
     severity = "error"

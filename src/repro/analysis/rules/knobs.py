@@ -52,6 +52,22 @@ SHIM_OWNERS = frozenset(
 
 @register_rule
 class LegacyKnobRule(Rule):
+    """The deprecated per-call execution knobs (``engine=``, ``num_workers=``,
+    ...) still work through compatibility shims, but each internal use is one
+    more place execution configuration can disagree with the single
+    ``ExecutionPolicy`` the run was launched with — the exact drift the
+    policy refactor exists to prevent.
+
+    Example::
+
+        campaign = Campaign(model, engine="sharded", num_workers=4)
+
+    Fix::
+
+        policy = ExecutionPolicy(mode="sharded", workers=4)
+        campaign = Campaign(model, policy=policy)
+    """
+
     rule_id = "REP003"
     name = "legacy-knob"
     severity = "error"

@@ -105,6 +105,27 @@ class _MethodScan(ast.NodeVisitor):
 
 @register_rule
 class LockDisciplineRule(Rule):
+    """An attribute mutated under ``with self._lock:`` in one method and read
+    lock-free in another is a data race with a long fuse: the torn read only
+    happens under real worker concurrency, typically as a slightly-wrong
+    merged statistic rather than a crash.  If one access point needs the
+    lock, every access point does.
+
+    Example::
+
+        def record(self):
+            with self._lock:
+                self._counts[key] += 1
+        def snapshot(self):
+            return dict(self._counts)      # lock-free read of guarded state
+
+    Fix::
+
+        def snapshot(self):
+            with self._lock:               # same guard on every touch
+                return dict(self._counts)
+    """
+
     rule_id = "REP004"
     name = "lock-discipline"
     severity = "error"

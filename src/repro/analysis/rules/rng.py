@@ -59,6 +59,22 @@ RANDOM_MODULES = ("np.random", "numpy.random")
 
 @register_rule
 class RngDisciplineRule(Rule):
+    """Global-state RNG calls (``np.random.shuffle`` & friends) draw from one
+    hidden process-wide stream, so any import-order or thread-timing change
+    silently reshuffles every downstream sample — the bit-identical-rerun
+    contract dies without a single test failing.  Unseeded ``default_rng()``
+    is the same bug one step earlier.
+
+    Example::
+
+        idx = np.random.permutation(len(pool))    # hidden global stream
+
+    Fix::
+
+        def __init__(self, rng: np.random.Generator): ...
+        idx = self.rng.permutation(len(pool))     # seeded, owned, replayable
+    """
+
     rule_id = "REP002"
     name = "rng-discipline"
     severity = "error"

@@ -101,6 +101,25 @@ def _consumed_keys(fn: ast.FunctionDef, fields: Set[str]) -> Optional[Set[str]]:
 
 @register_rule
 class DictRoundTripRule(Rule):
+    """``to_dict``/``from_dict`` pairs are the serialization boundary for
+    checkpoints, shard transport and telemetry artifacts; when their key sets
+    drift apart a field is silently dropped on write or rejected on read —
+    usually discovered days later when an old artifact no longer loads.
+
+    Example::
+
+        def to_dict(self):
+            return {"seed": self.seed, "budget": self.budget}
+        @classmethod
+        def from_dict(cls, d):
+            return cls(seed=d["seed"])     # "budget" silently dropped
+
+    Fix::
+
+        Keep both halves (and the dataclass fields) in lock step — every key
+        produced by to_dict is consumed by from_dict and vice versa.
+    """
+
     rule_id = "REP005"
     name = "dict-round-trip"
     severity = "error"

@@ -62,6 +62,26 @@ def _has_cleanup(finalbody: Sequence[ast.stmt]) -> bool:
 
 @register_rule
 class ShmLifecycleRule(Rule):
+    """A ``SharedMemory`` segment is a kernel object, not a Python object: if
+    the creating code path raises before ``unlink()``, the segment outlives
+    the process and /dev/shm fills up across campaign runs until the machine
+    needs a reboot.  Creation must be paired with cleanup on every path.
+
+    Example::
+
+        shm = SharedMemory(create=True, size=nbytes)
+        write_shard(shm)                   # raises -> segment leaks forever
+
+    Fix::
+
+        shm = SharedMemory(create=True, size=nbytes)
+        try:
+            write_shard(shm)
+        finally:
+            shm.close()
+            shm.unlink()                   # creator owns the unlink
+    """
+
     rule_id = "REP007"
     name = "shm-lifecycle"
     severity = "error"

@@ -71,6 +71,22 @@ def _matches(tokens: List[str], markers: tuple) -> bool:
 
 @register_rule
 class TimeoutDisciplineRule(Rule):
+    """A bare ``future.result()`` or ``queue.get()`` waits forever on a
+    worker that died mid-task, turning one crashed process into a hung
+    campaign; raw executor dispatch outside ``repro.faults`` likewise opts
+    out of the supervision (retry, replan, crash-containment) the repo
+    guarantees.  Every cross-process wait must be bounded.
+
+    Example::
+
+        payload = result_queue.get()        # hangs forever on worker death
+
+    Fix::
+
+        payload = result_queue.get(timeout=HEARTBEAT_S)   # bounded wait
+        # dispatch through repro.faults supervision instead of a raw pool
+    """
+
     rule_id = "REP006"
     name = "timeout-discipline"
     severity = "error"

@@ -1,0 +1,135 @@
+"""SARIF 2.1.0 rendering — lint findings as GitHub code-scanning input.
+
+SARIF (Static Analysis Results Interchange Format) is the interchange format
+GitHub's code-scanning UI consumes: uploading one file per lint run turns
+every finding into an inline PR annotation with the rule's description
+attached.  The renderer emits the minimal conformant subset — a single run,
+the full rule table in ``tool.driver.rules``, one ``result`` per finding —
+plus two things the repo's workflow depends on:
+
+* **stable fingerprints**: ``partialFingerprints`` carries a hash of the
+  baseline identity (rule, path, message — deliberately line-free, matching
+  :meth:`~.findings.Finding.key`), so annotations track findings across
+  unrelated edits instead of resurfacing as "new" when code above them moves;
+* **baseline mapping**: baselined findings are emitted with a
+  ``suppressions`` entry rather than dropped, so the scanning UI shows
+  accepted debt as suppressed instead of silently losing it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict, List, Optional, Sequence
+
+from .findings import Finding
+
+#: SARIF spec version emitted (and the schema the output validates against).
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = "https://json.schemastore.org/sarif-2.1.0.json"
+
+#: Tool identity shown in the code-scanning UI.
+TOOL_NAME = "repro-lint"
+
+
+def _fingerprint(finding: Finding) -> str:
+    """Line-free stable identity (matches the baseline's notion of "same")."""
+    digest = hashlib.sha256("\x1f".join(finding.key()).encode("utf-8"))
+    return digest.hexdigest()[:32]
+
+
+def _result(finding: Finding, rule_index: Dict[str, int], suppressed: bool) -> Dict:
+    message = finding.message
+    if finding.hint:
+        message = f"{message} (hint: {finding.hint})"
+    row: Dict[str, object] = {
+        "ruleId": finding.rule,
+        "ruleIndex": rule_index[finding.rule],
+        "level": finding.severity,
+        "message": {"text": message},
+        "locations": [
+            {
+                "physicalLocation": {
+                    "artifactLocation": {"uri": finding.path},
+                    "region": {
+                        "startLine": max(1, finding.line),
+                        "startColumn": finding.col + 1,  # SARIF is 1-based
+                    },
+                }
+            }
+        ],
+        "partialFingerprints": {"reproLintKey/v1": _fingerprint(finding)},
+    }
+    if suppressed:
+        row["suppressions"] = [
+            {
+                "kind": "external",
+                "justification": "accepted in lint-baseline.json (tracked debt)",
+            }
+        ]
+    return row
+
+
+def render_sarif(
+    new: Sequence[Finding],
+    baselined: Sequence[Finding] = (),
+    rules: Optional[Sequence] = None,
+) -> Dict[str, object]:
+    """One SARIF 2.1.0 log for a lint run.
+
+    ``rules`` is the active rule set (per-file and program rules together);
+    when omitted, the full default registry is described, so the rule table
+    is complete even on runs with zero findings.
+    """
+    if rules is None:
+        from .program.registry import default_program_rules
+        from .walker import default_rules
+
+        rules = list(default_rules()) + list(default_program_rules())
+
+    descriptors: List[Dict[str, object]] = []
+    rule_index: Dict[str, int] = {}
+    for rule in rules:
+        rule_index[rule.rule_id] = len(descriptors)
+        descriptors.append(
+            {
+                "id": rule.rule_id,
+                "name": rule.name,
+                "shortDescription": {"text": rule.description},
+                "defaultConfiguration": {"level": rule.severity},
+            }
+        )
+
+    # findings can reference the parse pseudo-rule, which has no class
+    for finding in list(new) + list(baselined):
+        if finding.rule not in rule_index:
+            rule_index[finding.rule] = len(descriptors)
+            descriptors.append(
+                {
+                    "id": finding.rule,
+                    "name": finding.name,
+                    "shortDescription": {"text": "file does not parse"},
+                    "defaultConfiguration": {"level": "error"},
+                }
+            )
+
+    results = [_result(finding, rule_index, suppressed=False) for finding in new]
+    results += [_result(finding, rule_index, suppressed=True) for finding in baselined]
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": TOOL_NAME,
+                        "informationUri": "https://example.invalid/repro-lint",
+                        "rules": descriptors,
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
+
+
+__all__ = ["SARIF_SCHEMA", "SARIF_VERSION", "TOOL_NAME", "render_sarif"]

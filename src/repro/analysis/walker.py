@@ -107,34 +107,35 @@ def _load_builtin_rules() -> None:
 # --------------------------------------------------------------------------- #
 # the walker
 # --------------------------------------------------------------------------- #
-def analyze_source(
-    source: str, path: str, rules: Optional[Sequence[Rule]] = None
-) -> List[Finding]:
-    """Analyze one module's source text; returns pragma-filtered findings."""
-    kept, _suppressed = _analyze_module(source, path, rules=rules)
-    return kept
+def parse_source(source: str, path: str):
+    """Parse one module: ``(tree, None)`` or ``(None, parse Finding)``.
 
-
-def _analyze_module(
-    source: str, path: str, rules: Optional[Sequence[Rule]] = None
-) -> tuple:
-    """One parse, one walk: returns ``(kept findings, suppressed count)``."""
-    active = list(rules) if rules is not None else default_rules()
-    ctx = ModuleContext(path=str(Path(path).as_posix()))
+    This is the *single* parse of a file — the per-file rule dispatch, the
+    program-graph fact extraction and the pragma span expansion all reuse
+    the tree it returns.
+    """
+    posix = str(Path(path).as_posix())
     try:
-        tree = ast.parse(source, filename=path)
+        return ast.parse(source, filename=path), None
     except SyntaxError as exc:
-        parse_failure = Finding(
+        return None, Finding(
             rule=PARSE_RULE_ID,
             name=PARSE_RULE_NAME,
             severity="error",
-            path=ctx.path,
+            path=posix,
             line=int(exc.lineno or 1),
             col=int(exc.offset or 0),
             message=f"file does not parse: {exc.msg}",
             hint="the analyzer (and python) must be able to parse every module",
         )
-        return [parse_failure], 0
+
+
+def run_file_rules(
+    tree: ast.Module, path: str, rules: Optional[Sequence[Rule]] = None
+) -> List[Finding]:
+    """One walk of an already-parsed module; returns *unfiltered* findings."""
+    active = list(rules) if rules is not None else default_rules()
+    ctx = ModuleContext(path=str(Path(path).as_posix()))
 
     # one dispatch table per run: rule -> {node type name -> bound method}
     dispatch = []
@@ -155,14 +156,61 @@ def _analyze_module(
             visitor = methods.get(node_type)
             if visitor is not None:
                 visitor(node, ctx)
+    return ctx.findings
 
-    pragmas = collect_pragmas(source)
+
+def analyze_source(
+    source: str,
+    path: str,
+    rules: Optional[Sequence[Rule]] = None,
+    program_rules: Optional[Sequence] = None,
+) -> List[Finding]:
+    """Analyze one module's source text; returns pragma-filtered findings.
+
+    The whole-program rules run too, over a single-module program — so
+    cross-function properties inside one file (a lock-order inversion
+    between two methods, a set iterated two functions away) are visible
+    even without a multi-file tree.
+    """
+    kept, _suppressed = _analyze_module(
+        source, path, rules=rules, program_rules=program_rules
+    )
+    return kept
+
+
+def _analyze_module(
+    source: str,
+    path: str,
+    rules: Optional[Sequence[Rule]] = None,
+    program_rules: Optional[Sequence] = None,
+) -> tuple:
+    """One parse, shared by every rule: ``(kept findings, suppressed)``."""
+    from .pragmas import expand_decorated_pragmas
+    from .program.facts import extract_facts
+    from .program.graph import build_graph
+    from .program.registry import default_program_rules
+
+    posix = str(Path(path).as_posix())
+    tree, parse_failure = parse_source(source, path)
+    if tree is None:
+        return [parse_failure], 0
+
+    findings = list(run_file_rules(tree, posix, rules))
+    facts = extract_facts(tree, source, posix)
+    graph = build_graph([facts])
+    active_program = (
+        list(program_rules) if program_rules is not None else default_program_rules()
+    )
+    for rule in active_program:
+        findings.extend(rule.check(graph))
+
+    pragmas = expand_decorated_pragmas(tree, collect_pragmas(source))
     kept = [
         finding
-        for finding in ctx.findings
+        for finding in findings
         if not is_suppressed(pragmas, finding.line, finding.rule, finding.name)
     ]
-    return sort_findings(kept), len(ctx.findings) - len(kept)
+    return sort_findings(kept), len(findings) - len(kept)
 
 
 @dataclass
@@ -172,6 +220,13 @@ class LintResult:
     findings: List[Finding]
     files_scanned: int
     suppressed: int
+    #: files parsed this run (everything on a cold/uncached run)
+    reparsed: List[str] = field(default_factory=list)
+    #: reparsed files plus their reverse import closure — the set whose
+    #: whole-program findings this run's changes could have affected
+    invalidated: List[str] = field(default_factory=list)
+    cache_hits: int = 0
+    cache_misses: int = 0
 
     def by_rule(self) -> Dict[str, int]:
         counts: Dict[str, int] = {}
@@ -201,22 +256,28 @@ def iter_python_files(paths: Iterable[str]) -> Iterator[Path]:
 
 
 def analyze_paths(
-    paths: Iterable[str], rules: Optional[Sequence[Rule]] = None
+    paths: Iterable[str],
+    rules: Optional[Sequence[Rule]] = None,
+    program_rules: Optional[Sequence] = None,
+    cache_dir: Optional[str] = None,
+    jobs: int = 1,
 ) -> LintResult:
-    """Analyze every Python file under ``paths`` with one parse+walk per file."""
-    active = list(rules) if rules is not None else default_rules()
-    findings: List[Finding] = []
-    suppressed = 0
-    files = 0
-    for source_file in iter_python_files(paths):
-        files += 1
-        source = source_file.read_text(encoding="utf-8")
-        kept, removed = _analyze_module(source, source_file.as_posix(), rules=active)
-        suppressed += removed
-        findings.extend(kept)
-    return LintResult(
-        findings=sort_findings(findings), files_scanned=files, suppressed=suppressed
+    """Analyze every Python file under ``paths`` as one program.
+
+    Files are parsed exactly once each (or not at all when ``cache_dir``
+    holds a warm content-hash cache); the per-file rules and the
+    whole-program rules both run over that single shared parse.
+    """
+    from .program.build import analyze_program
+
+    analysis = analyze_program(
+        paths,
+        rules=rules,
+        program_rules=program_rules,
+        cache_dir=cache_dir,
+        jobs=jobs,
     )
+    return analysis.lint_result()
 
 
 __all__ = [
@@ -230,5 +291,7 @@ __all__ = [
     "analyze_source",
     "analyze_paths",
     "iter_python_files",
+    "parse_source",
+    "run_file_rules",
     "LintResult",
 ]

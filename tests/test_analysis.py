@@ -22,11 +22,17 @@ from repro.analysis import (
     analyze_paths,
     analyze_source,
     collect_pragmas,
+    default_program_rules,
     default_rules,
+    expand_decorated_pragmas,
+    explain_rule,
     is_suppressed,
+    registered_program_rules,
     registered_rules,
     render_json,
+    render_sarif,
     render_text,
+    rule_doc_sections,
     sort_findings,
 )
 from repro.analysis.cli import main as lint_main
@@ -47,16 +53,27 @@ def dedent(snippet: str) -> str:
 # registry / framework
 # --------------------------------------------------------------------------- #
 class TestFramework:
-    def test_eight_rules_registered(self):
+    def test_eight_per_file_rules_registered(self):
         assert sorted(registered_rules()) == [
             "REP001", "REP002", "REP003", "REP004", "REP005", "REP006",
             "REP007", "REP008",
         ]
 
+    def test_three_program_rules_registered(self):
+        assert sorted(registered_program_rules()) == ["REP009", "REP010", "REP011"]
+
     def test_default_rules_are_fresh_instances_in_id_order(self):
         first, second = default_rules(), default_rules()
         assert [r.rule_id for r in first] == sorted(registered_rules())
         assert all(a is not b for a, b in zip(first, second))
+
+    def test_default_program_rules_are_fresh_instances_in_id_order(self):
+        first, second = default_program_rules(), default_program_rules()
+        assert [r.rule_id for r in first] == sorted(registered_program_rules())
+        assert all(a is not b for a, b in zip(first, second))
+
+    def test_per_file_and_program_rule_ids_disjoint(self):
+        assert not set(registered_rules()) & set(registered_program_rules())
 
     def test_syntax_error_becomes_parse_finding(self):
         findings = analyze_source("def broken(:\n", APP_PATH)
@@ -849,8 +866,796 @@ class TestSelfScan:
                 """
             ),
             "REP006": "value = future.result()\n",
+            "REP007": "shm = SharedMemory(create=True, size=8)\n",
             "REP008": "stamp = time.time()\n",
+            "REP009": dedent(
+                """
+                import threading
+
+
+                class C:
+                    def __init__(self):
+                        self._lock = threading.Lock()
+
+                    def f(self):
+                        with self._lock:
+                            with self._lock:
+                                pass
+                """
+            ),
+            "REP010": dedent(
+                """
+                def run(engine, x):
+                    return engine.predict(x)
+
+
+                def f(model, x):
+                    return run(model, x)
+                """
+            ),
+            "REP011": "def f(shards: set):\n    return [s for s in shards]\n",
         }
         for rule_id, source in seeded.items():
             findings = analyze_source(source, APP_PATH)
             assert [f.rule for f in findings] == [rule_id]
+
+
+# --------------------------------------------------------------------------- #
+# REP009 lock-ordering (whole-program; single-module graphs via analyze_source)
+# --------------------------------------------------------------------------- #
+class TestLockOrdering:
+    def test_nested_reacquisition_of_plain_lock_flagged(self):
+        source = dedent(
+            """
+            import threading
+
+
+            class Engine:
+                def __init__(self):
+                    self._lock = threading.Lock()
+
+                def merge(self):
+                    with self._lock:
+                        with self._lock:
+                            pass
+            """
+        )
+        findings = analyze_source(source, APP_PATH)
+        assert [(f.rule, f.name) for f in findings] == [("REP009", "lock-ordering")]
+        assert "deadlocks itself" in findings[0].message
+
+    def test_rlock_reentry_clean(self):
+        source = dedent(
+            """
+            import threading
+
+
+            class Engine:
+                def __init__(self):
+                    self._lock = threading.RLock()
+
+                def merge(self):
+                    with self._lock:
+                        with self._lock:
+                            pass
+            """
+        )
+        assert analyze_source(source, APP_PATH) == []
+
+    def test_transitive_self_deadlock_through_call_flagged(self):
+        source = dedent(
+            """
+            import threading
+
+
+            class Engine:
+                def __init__(self):
+                    self._lock = threading.Lock()
+
+                def outer(self):
+                    with self._lock:
+                        self.inner()
+
+                def inner(self):
+                    with self._lock:
+                        pass
+            """
+        )
+        findings = analyze_source(source, APP_PATH)
+        assert [f.rule for f in findings] == ["REP009"]
+        assert "re-acquires" in findings[0].message
+
+    def test_cross_class_lock_cycle_flagged_on_both_paths(self):
+        source = dedent(
+            """
+            import threading
+
+
+            class Coordinator:
+                def __init__(self, supervisor):
+                    self._lock = threading.Lock()
+                    self._sup = Supervisor()
+
+                def merge(self):
+                    with self._lock:
+                        self._sup.replan()
+
+                def absorb(self):
+                    with self._lock:
+                        pass
+
+
+            class Supervisor:
+                def __init__(self):
+                    self._lock = threading.Lock()
+
+                def replan(self):
+                    with self._lock:
+                        pass
+
+                def harvest(self):
+                    with self._lock:
+                        coord = Coordinator(self)
+                        coord.absorb()
+            """
+        )
+        findings = analyze_source(source, APP_PATH)
+        assert {f.rule for f in findings} == {"REP009"}
+        assert len(findings) == 2, "one finding per edge of the cycle"
+        assert all("lock-order cycle" in f.message for f in findings)
+
+    def test_consistent_order_clean(self):
+        source = dedent(
+            """
+            import threading
+
+
+            class Coordinator:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._sup = Supervisor()
+
+                def merge(self):
+                    with self._lock:
+                        self._sup.replan()
+
+
+            class Supervisor:
+                def __init__(self):
+                    self._lock = threading.Lock()
+
+                def replan(self):
+                    with self._lock:
+                        pass
+            """
+        )
+        assert analyze_source(source, APP_PATH) == []
+
+    def test_pragma_blesses_impossible_interleaving(self):
+        source = dedent(
+            """
+            import threading
+
+
+            class Engine:
+                def __init__(self):
+                    self._lock = threading.Lock()
+
+                def merge(self):
+                    with self._lock:
+                        with self._lock:  # repro: allow[lock-ordering] fixture
+                            pass
+            """
+        )
+        assert analyze_source(source, APP_PATH) == []
+
+
+# --------------------------------------------------------------------------- #
+# REP010 funnel-escape (interprocedural REP001)
+# --------------------------------------------------------------------------- #
+class TestFunnelEscape:
+    def test_model_into_engine_named_parameter_flagged_at_call_site(self):
+        source = dedent(
+            """
+            def run_batch(engine, x):
+                return engine.predict(x)
+
+
+            def attack(model, x):
+                return run_batch(model, x)
+            """
+        )
+        findings = analyze_source(source, APP_PATH)
+        assert [(f.rule, f.line) for f in findings] == [("REP010", 6)]
+        assert "engine-named parameter 'engine'" in findings[0].message
+
+    def test_keyword_argument_escape_flagged(self):
+        source = dedent(
+            """
+            def run_batch(engine, x):
+                return engine.predict(x)
+
+
+            def attack(model, x):
+                return run_batch(x=x, engine=model)
+            """
+        )
+        findings = analyze_source(source, APP_PATH)
+        assert [(f.rule, f.line) for f in findings] == [("REP010", 6)]
+
+    def test_query_on_model_returning_call_flagged(self):
+        source = dedent(
+            """
+            def get_model():
+                model = load()
+                return model
+
+
+            def attack(x):
+                return get_model().predict(x)
+            """
+        )
+        findings = analyze_source(source, APP_PATH)
+        assert [(f.rule, f.line) for f in findings] == [("REP010", 7)]
+        assert "return value of get_model()" in findings[0].message
+
+    def test_engine_named_local_bound_to_model_flagged(self):
+        source = dedent(
+            """
+            def get_model():
+                model = load()
+                return model
+
+
+            def attack(x):
+                engine = get_model()
+                return engine.predict(x)
+            """
+        )
+        findings = analyze_source(source, APP_PATH)
+        assert [(f.rule, f.line) for f in findings] == [("REP010", 8)]
+        assert "wearing the funnel's name" in findings[0].message
+
+    def test_transitive_model_return_chain_tracked(self):
+        source = dedent(
+            """
+            def load_model():
+                model = build()
+                return model
+
+
+            def get_backend():
+                return load_model()
+
+
+            def attack(x):
+                return get_backend().predict(x)
+            """
+        )
+        findings = analyze_source(source, APP_PATH)
+        assert [(f.rule, f.line) for f in findings] == [("REP010", 11)]
+
+    def test_real_engine_values_clean(self):
+        source = dedent(
+            """
+            def run_batch(engine, x):
+                return engine.predict(x)
+
+
+            def campaign(policy, model, x):
+                engine = policy.build_engine(model)
+                return run_batch(engine, x)
+            """
+        )
+        assert analyze_source(source, APP_PATH) == []
+
+    def test_engine_layer_exempt(self):
+        source = dedent(
+            """
+            def run_batch(engine, x):
+                return engine.predict(x)
+
+
+            def attack(model, x):
+                return run_batch(model, x)
+            """
+        )
+        assert analyze_source(source, "src/repro/engine/batching.py") == []
+
+    def test_pragma_blesses_whitebox_helper(self):
+        source = dedent(
+            """
+            def run_batch(engine, x):
+                return engine.predict(x)
+
+
+            def attack(model, x):
+                return run_batch(model, x)  # repro: allow[funnel-escape] whitebox
+            """
+        )
+        assert analyze_source(source, APP_PATH) == []
+
+
+# --------------------------------------------------------------------------- #
+# REP011 iteration-order
+# --------------------------------------------------------------------------- #
+class TestIterationOrder:
+    def test_for_over_set_local_flagged(self):
+        source = dedent(
+            """
+            def plan(items):
+                pending = set(items)
+                out = []
+                for item in pending:
+                    out.append(item)
+                return out
+            """
+        )
+        findings = analyze_source(source, APP_PATH)
+        assert [(f.rule, f.line) for f in findings] == [("REP011", 4)]
+        assert "hash-seed dependent" in findings[0].message
+
+    def test_set_annotated_parameter_flagged(self):
+        source = dedent(
+            """
+            def plan(shards: set):
+                return [s for s in shards]
+            """
+        )
+        findings = analyze_source(source, APP_PATH)
+        assert [(f.rule, f.line) for f in findings] == [("REP011", 2)]
+
+    def test_typed_set_annotation_flagged(self):
+        source = dedent(
+            """
+            from typing import Set
+
+
+            def plan(shards: Set[int]):
+                return list(shards)
+            """
+        )
+        findings = analyze_source(source, APP_PATH)
+        assert [f.rule for f in findings] == ["REP011"]
+
+    def test_module_level_set_constant_flagged(self):
+        source = dedent(
+            """
+            KNOWN = {"a", "b"}
+
+
+            def dump():
+                return [k for k in KNOWN]
+            """
+        )
+        findings = analyze_source(source, APP_PATH)
+        assert [f.rule for f in findings] == ["REP011"]
+        assert "KNOWN" in findings[0].message
+
+    def test_set_valued_self_attribute_flagged(self):
+        source = dedent(
+            """
+            class Planner:
+                def __init__(self):
+                    self.pending = set()
+
+                def drain(self):
+                    for item in self.pending:
+                        yield item
+            """
+        )
+        findings = analyze_source(source, APP_PATH)
+        assert [f.rule for f in findings] == ["REP011"]
+        assert "self.pending" in findings[0].message
+
+    def test_sorted_iteration_clean(self):
+        source = dedent(
+            """
+            def plan(shards: set):
+                out = []
+                for shard in sorted(shards):
+                    out.append(shard)
+                return [s for s in sorted(shards)]
+            """
+        )
+        assert analyze_source(source, APP_PATH) == []
+
+    def test_order_insensitive_reducers_clean(self):
+        source = dedent(
+            """
+            def stats(values: set):
+                return (
+                    sum(values),
+                    min(values),
+                    max(values),
+                    len(values),
+                    any(v > 0 for v in values),
+                )
+            """
+        )
+        assert analyze_source(source, APP_PATH) == []
+
+    def test_building_a_set_discards_order_clean(self):
+        source = dedent(
+            """
+            def dedupe(shards: set, extra):
+                return {s for s in shards} | set(extra)
+            """
+        )
+        assert analyze_source(source, APP_PATH) == []
+
+    def test_list_materialization_of_set_flagged(self):
+        source = dedent(
+            """
+            def snapshot(shards: set):
+                return list(shards)
+            """
+        )
+        findings = analyze_source(source, APP_PATH)
+        assert [f.rule for f in findings] == ["REP011"]
+        assert "list()" in findings[0].message
+
+    def test_membership_and_mutation_clean(self):
+        source = dedent(
+            """
+            def track(seen: set, item):
+                if item in seen:
+                    return False
+                seen.add(item)
+                return True
+            """
+        )
+        assert analyze_source(source, APP_PATH) == []
+
+    def test_pragma_blesses_order_free_consumer(self):
+        source = dedent(
+            """
+            def purge(stale: set, entries):
+                for key in stale:  # repro: allow[iteration-order] deletes commute
+                    del entries[key]
+            """
+        )
+        assert analyze_source(source, APP_PATH) == []
+
+
+# --------------------------------------------------------------------------- #
+# decorated-statement pragma spans
+# --------------------------------------------------------------------------- #
+class TestDecoratedPragmas:
+    def test_pragma_above_decorator_suppresses_finding_at_def_line(self):
+        source = dedent(
+            """
+            class Estimate:
+                # repro: allow[dict-round-trip] loader backfills variance
+                @staticmethod
+                def to_dict():
+                    return {"pmi": 1}
+
+                @classmethod
+                def from_dict(cls, data):
+                    return cls(pmi=data["pmi"], variance=data["variance"])
+            """
+        )
+        assert analyze_source(source, APP_PATH) == []
+
+    def test_without_pragma_decorated_serializer_still_flagged(self):
+        source = dedent(
+            """
+            class Estimate:
+                @staticmethod
+                def to_dict():
+                    return {"pmi": 1}
+
+                @classmethod
+                def from_dict(cls, data):
+                    return cls(pmi=data["pmi"], variance=data["variance"])
+            """
+        )
+        findings = analyze_source(source, APP_PATH)
+        assert [f.rule for f in findings] == ["REP005"]
+
+    def test_expansion_unions_ids_across_the_span(self):
+        import ast as ast_mod
+
+        source = dedent(
+            """
+            @alpha  # repro: allow[engine-funnel]
+            @beta
+            def f(model, x):  # repro: allow[rng-discipline]
+                return 1
+            """
+        )
+        tree = ast_mod.parse(source)
+        expanded = expand_decorated_pragmas(tree, collect_pragmas(source))
+        for line in (1, 2, 3):
+            assert is_suppressed(expanded, line, "REP001", "engine-funnel")
+            assert is_suppressed(expanded, line, "REP002", "rng-discipline")
+        assert not is_suppressed(expanded, 4, "REP001", "engine-funnel")
+
+    def test_undecorated_statements_unaffected(self):
+        import ast as ast_mod
+
+        source = "x = 1  # repro: allow[engine-funnel]\ny = 2\n"
+        tree = ast_mod.parse(source)
+        expanded = expand_decorated_pragmas(tree, collect_pragmas(source))
+        assert expanded == collect_pragmas(source)
+
+
+# --------------------------------------------------------------------------- #
+# --explain
+# --------------------------------------------------------------------------- #
+class TestExplain:
+    def test_every_rule_docstring_has_example_and_fix(self):
+        for rule in default_rules() + default_program_rules():
+            sections = rule_doc_sections(type(rule))
+            assert sections["rationale"], rule.rule_id
+            assert sections["example"], f"{rule.rule_id} docstring lacks Example::"
+            assert sections["fix"], f"{rule.rule_id} docstring lacks Fix::"
+
+    def test_explain_by_id_and_slug(self):
+        by_id = explain_rule("REP009")
+        by_slug = explain_rule("lock-ordering")
+        assert by_id == by_slug
+        assert "Example:" in by_id and "Fix:" in by_id
+        assert "repro: allow[lock-ordering]" in by_id
+
+    def test_explain_unknown_rule_raises(self):
+        with pytest.raises(ConfigurationError, match="unknown rule"):
+            explain_rule("REP999")
+
+    def test_cli_explain_exits_zero_and_prints_sections(self, capsys):
+        assert lint_main(["--explain", "REP010"]) == 0
+        out = capsys.readouterr().out
+        assert "REP010 [funnel-escape]" in out
+        assert "Example:" in out and "Fix:" in out
+
+    def test_cli_explain_unknown_rule_exits_two(self, capsys):
+        assert lint_main(["--explain", "nope"]) == 2
+        assert "unknown rule" in capsys.readouterr().err
+
+
+# --------------------------------------------------------------------------- #
+# SARIF output
+# --------------------------------------------------------------------------- #
+#: Trimmed (but faithful) subset of the SARIF 2.1.0 schema: the properties
+#: GitHub code scanning actually consumes, with required fields and types as
+#: the spec defines them.  Validated with jsonschema when available (dev
+#: machines); the structural assertions below run everywhere.
+SARIF_SCHEMA_SUBSET = {
+    "type": "object",
+    "required": ["version", "runs"],
+    "properties": {
+        "version": {"enum": ["2.1.0"]},
+        "$schema": {"type": "string"},
+        "runs": {
+            "type": "array",
+            "minItems": 1,
+            "items": {
+                "type": "object",
+                "required": ["tool", "results"],
+                "properties": {
+                    "tool": {
+                        "type": "object",
+                        "required": ["driver"],
+                        "properties": {
+                            "driver": {
+                                "type": "object",
+                                "required": ["name"],
+                                "properties": {
+                                    "name": {"type": "string"},
+                                    "rules": {
+                                        "type": "array",
+                                        "items": {
+                                            "type": "object",
+                                            "required": ["id"],
+                                            "properties": {
+                                                "id": {"type": "string"},
+                                                "shortDescription": {
+                                                    "type": "object",
+                                                    "required": ["text"],
+                                                },
+                                            },
+                                        },
+                                    },
+                                },
+                            }
+                        },
+                    },
+                    "results": {
+                        "type": "array",
+                        "items": {
+                            "type": "object",
+                            "required": ["ruleId", "message"],
+                            "properties": {
+                                "ruleId": {"type": "string"},
+                                "ruleIndex": {"type": "integer", "minimum": 0},
+                                "level": {
+                                    "enum": ["none", "note", "warning", "error"]
+                                },
+                                "message": {
+                                    "type": "object",
+                                    "required": ["text"],
+                                    "properties": {"text": {"type": "string"}},
+                                },
+                                "locations": {
+                                    "type": "array",
+                                    "items": {
+                                        "type": "object",
+                                        "properties": {
+                                            "physicalLocation": {
+                                                "type": "object",
+                                                "properties": {
+                                                    "artifactLocation": {
+                                                        "type": "object",
+                                                        "properties": {
+                                                            "uri": {"type": "string"}
+                                                        },
+                                                    },
+                                                    "region": {
+                                                        "type": "object",
+                                                        "properties": {
+                                                            "startLine": {
+                                                                "type": "integer",
+                                                                "minimum": 1,
+                                                            },
+                                                            "startColumn": {
+                                                                "type": "integer",
+                                                                "minimum": 1,
+                                                            },
+                                                        },
+                                                    },
+                                                },
+                                            }
+                                        },
+                                    },
+                                },
+                                "partialFingerprints": {"type": "object"},
+                                "suppressions": {
+                                    "type": "array",
+                                    "items": {
+                                        "type": "object",
+                                        "required": ["kind"],
+                                    },
+                                },
+                            },
+                        },
+                    },
+                },
+            },
+        },
+    },
+}
+
+
+class TestSarif:
+    def _findings(self, tmp_path):
+        bad = tmp_path / "bad.py"
+        bad.write_text("def f(model, x):\n    return model.predict(x)\n")
+        return analyze_paths([str(bad)]).findings
+
+    def test_log_validates_against_sarif_schema(self, tmp_path):
+        log = render_sarif(self._findings(tmp_path))
+        try:
+            import jsonschema
+        except ImportError:
+            jsonschema = None
+        if jsonschema is not None:
+            jsonschema.validate(log, SARIF_SCHEMA_SUBSET)
+        # structural spot checks run with or without jsonschema
+        assert log["version"] == "2.1.0"
+        assert log["$schema"].endswith("sarif-2.1.0.json")
+        run = log["runs"][0]
+        assert run["tool"]["driver"]["name"] == "repro-lint"
+        (result,) = run["results"]
+        assert result["ruleId"] == "REP001"
+        assert result["level"] == "error"
+        location = result["locations"][0]["physicalLocation"]
+        assert location["region"]["startLine"] == 2
+        assert location["region"]["startColumn"] >= 1
+
+    def test_rule_table_covers_all_rules(self, tmp_path):
+        log = render_sarif([])
+        ids = [row["id"] for row in log["runs"][0]["tool"]["driver"]["rules"]]
+        assert ids == sorted(ids)
+        for rule_id in ("REP001", "REP008", "REP009", "REP010", "REP011"):
+            assert rule_id in ids
+
+    def test_rule_index_points_at_matching_descriptor(self, tmp_path):
+        log = render_sarif(self._findings(tmp_path))
+        run = log["runs"][0]
+        (result,) = run["results"]
+        descriptor = run["tool"]["driver"]["rules"][result["ruleIndex"]]
+        assert descriptor["id"] == result["ruleId"]
+
+    def test_baselined_findings_carry_suppressions(self, tmp_path):
+        findings = self._findings(tmp_path)
+        log = render_sarif([], baselined=findings)
+        (result,) = log["runs"][0]["results"]
+        assert result["suppressions"][0]["kind"] == "external"
+        fresh = render_sarif(findings)
+        assert "suppressions" not in fresh["runs"][0]["results"][0]
+
+    def test_fingerprint_stable_across_line_moves(self, tmp_path):
+        findings = self._findings(tmp_path)
+        moved = [Finding(**dict(f.to_dict(), line=f.line + 7)) for f in findings]
+        first = render_sarif(findings)["runs"][0]["results"][0]
+        second = render_sarif(moved)["runs"][0]["results"][0]
+        assert (
+            first["partialFingerprints"]["reproLintKey/v1"]
+            == second["partialFingerprints"]["reproLintKey/v1"]
+        )
+
+    def test_cli_sarif_flag_emits_parseable_log(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        bad = tmp_path / "bad.py"
+        bad.write_text("def f(model, x):\n    return model.predict(x)\n")
+        assert lint_main([str(bad), "--no-baseline", "--sarif"]) == 1
+        log = json.loads(capsys.readouterr().out)
+        assert log["version"] == "2.1.0"
+        assert len(log["runs"][0]["results"]) == 1
+
+    def test_sarif_and_json_flags_mutually_exclusive(self, tmp_path):
+        with pytest.raises(SystemExit):
+            lint_main([str(tmp_path), "--sarif", "--json"])
+
+
+# --------------------------------------------------------------------------- #
+# --changed mode
+# --------------------------------------------------------------------------- #
+class TestChangedMode:
+    def _git(self, cwd, *argv):
+        import subprocess
+
+        proc = subprocess.run(
+            ["git", *argv], cwd=cwd, capture_output=True, text=True, timeout=30,
+            env={
+                "PATH": __import__("os").environ["PATH"],
+                "GIT_AUTHOR_NAME": "t", "GIT_AUTHOR_EMAIL": "t@t",
+                "GIT_COMMITTER_NAME": "t", "GIT_COMMITTER_EMAIL": "t@t",
+                "HOME": str(cwd),
+            },
+        )
+        assert proc.returncode == 0, proc.stderr
+        return proc.stdout
+
+    def _repo(self, tmp_path):
+        self._git(tmp_path, "init", "-q")
+        clean = tmp_path / "clean.py"
+        clean.write_text("def f(engine, x):\n    return engine.predict(x)\n")
+        bad = tmp_path / "bad.py"
+        bad.write_text("def f(model, x):\n    return model.predict(x)\n")
+        self._git(tmp_path, "add", ".")
+        self._git(tmp_path, "commit", "-q", "-m", "seed")
+        return clean, bad
+
+    def test_changed_scopes_report_to_touched_files(self, tmp_path, capsys, monkeypatch):
+        clean, bad = self._repo(tmp_path)
+        monkeypatch.chdir(tmp_path)
+        # bad.py is committed and untouched: full lint fails, --changed passes
+        assert lint_main([str(tmp_path), "--no-baseline"]) == 1
+        capsys.readouterr()
+        assert lint_main([str(tmp_path), "--no-baseline", "--changed"]) == 0
+        # touching the violating file brings its findings back in scope
+        bad.write_text(bad.read_text() + "\n# touched\n")
+        capsys.readouterr()
+        assert lint_main([str(tmp_path), "--no-baseline", "--changed"]) == 1
+        assert "REP001" in capsys.readouterr().out
+
+    def test_untracked_files_count_as_changed(self, tmp_path, capsys, monkeypatch):
+        self._repo(tmp_path)
+        monkeypatch.chdir(tmp_path)
+        fresh = tmp_path / "fresh.py"
+        fresh.write_text("def g(model, x):\n    return model.predict(x)\n")
+        assert lint_main([str(tmp_path), "--no-baseline", "--changed"]) == 1
+        out = capsys.readouterr().out
+        assert "fresh.py" in out
+        assert "bad.py" not in out
+
+    def test_changed_outside_git_exits_two(self, tmp_path, capsys, monkeypatch):
+        lonely = tmp_path / "lonely"
+        lonely.mkdir()
+        (lonely / "mod.py").write_text("x = 1\n")
+        monkeypatch.chdir(lonely)
+        monkeypatch.setenv("GIT_CEILING_DIRECTORIES", str(tmp_path))
+        assert lint_main([str(lonely), "--no-baseline", "--changed"]) == 2
+        assert "failed" in capsys.readouterr().err

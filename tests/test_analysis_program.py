@@ -1,0 +1,453 @@
+"""Tests for ``repro.analysis.program`` — the whole-program layer.
+
+Covers the parts the per-rule fixtures in ``test_analysis.py`` take for
+granted: cross-module symbol resolution (aliased imports, re-export chains,
+wildcard rejection), call-graph resolution (self methods, constructor-typed
+attributes and locals, callback aliases, base-class walks), the facts
+serialization round-trip, and the on-disk cache contract — a warm run
+reparses nothing, a one-file edit re-analyzes exactly that file plus its
+reverse import closure, and a stale fingerprint or corrupt cache file means
+a cold start rather than stale findings.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import textwrap
+from pathlib import Path
+
+from repro.analysis import analyze_program, build_graph, extract_facts
+from repro.analysis.program.cache import (
+    CACHE_VERSION,
+    ProgramCache,
+    analysis_fingerprint,
+)
+from repro.analysis.program.facts import ModuleFacts, module_name_for
+
+
+def dedent(snippet: str) -> str:
+    return textwrap.dedent(snippet).lstrip("\n")
+
+
+def facts_for(module: str, source: str, package: bool = False) -> ModuleFacts:
+    source = dedent(source)
+    stem = module.replace(".", "/")
+    path = f"src/{stem}/__init__.py" if package else f"src/{stem}.py"
+    return extract_facts(ast.parse(source), source, path, module=module)
+
+
+def graph_for(**modules: str):
+    """Graph of ``modules``; a name that prefixes another is a package."""
+    names = set(modules)
+    return build_graph(
+        facts_for(name, src, package=any(n.startswith(name + ".") for n in names))
+        for name, src in modules.items()
+    )
+
+
+# --------------------------------------------------------------------------- #
+# module naming
+# --------------------------------------------------------------------------- #
+class TestModuleNaming:
+    def test_package_layout_resolved_via_init_files(self, tmp_path):
+        pkg = tmp_path / "pkg"
+        sub = pkg / "sub"
+        sub.mkdir(parents=True)
+        (pkg / "__init__.py").write_text("")
+        (sub / "__init__.py").write_text("")
+        (sub / "mod.py").write_text("x = 1\n")
+        assert module_name_for(sub / "mod.py") == "pkg.sub.mod"
+        assert module_name_for(sub / "__init__.py") == "pkg.sub"
+
+    def test_loose_file_named_by_stem(self, tmp_path):
+        loose = tmp_path / "script.py"
+        loose.write_text("x = 1\n")
+        assert module_name_for(loose) == "script"
+
+
+# --------------------------------------------------------------------------- #
+# symbol resolution
+# --------------------------------------------------------------------------- #
+class TestSymbolResolution:
+    def test_local_function_and_class(self):
+        graph = graph_for(**{"pkg.a": "def helper():\n    pass\nclass C:\n    pass\n"})
+        ref = graph.resolve("pkg.a", "helper")
+        assert (ref.module, ref.qualname, ref.kind) == ("pkg.a", "helper", "function")
+        assert graph.resolve("pkg.a", "C").kind == "class"
+
+    def test_from_import_follows_to_defining_module(self):
+        graph = graph_for(**{
+            "pkg.a": "def helper():\n    pass\n",
+            "pkg.b": "from pkg.a import helper\n",
+        })
+        ref = graph.resolve("pkg.b", "helper")
+        assert (ref.module, ref.qualname) == ("pkg.a", "helper")
+
+    def test_aliased_import_resolves_under_the_alias(self):
+        graph = graph_for(**{
+            "pkg.a": "def helper():\n    pass\n",
+            "pkg.b": "from pkg.a import helper as h\n",
+        })
+        ref = graph.resolve("pkg.b", "h")
+        assert (ref.module, ref.qualname) == ("pkg.a", "helper")
+        assert graph.resolve("pkg.b", "helper") is None
+
+    def test_module_import_with_dotted_access(self):
+        graph = graph_for(**{
+            "pkg.a": "class Engine:\n    pass\n",
+            "pkg.b": "import pkg.a as backend\n",
+        })
+        ref = graph.resolve("pkg.b", "backend.Engine")
+        assert (ref.module, ref.qualname, ref.kind) == ("pkg.a", "Engine", "class")
+
+    def test_reexport_chain_followed_to_origin(self):
+        graph = graph_for(**{
+            "pkg.a": "def helper():\n    pass\n",
+            "pkg": "from .a import helper\n",
+            "pkg.b": "from pkg import helper\n",
+        })
+        ref = graph.resolve("pkg.b", "helper")
+        assert (ref.module, ref.qualname) == ("pkg.a", "helper")
+
+    def test_relative_import_resolved_against_package(self):
+        graph = graph_for(**{
+            "pkg.a": "def helper():\n    pass\n",
+            "pkg.b": "from .a import helper\n",
+        })
+        ref = graph.resolve("pkg.b", "helper")
+        assert (ref.module, ref.qualname) == ("pkg.a", "helper")
+
+    def test_wildcard_import_poisons_unresolved_names(self):
+        graph = graph_for(**{
+            "pkg.a": "def helper():\n    pass\n",
+            "pkg.b": "from pkg.a import *\n\n\ndef local():\n    pass\n",
+        })
+        # locally defined names still resolve; anything else could come from
+        # the wildcard, so resolution refuses to guess
+        assert graph.resolve("pkg.b", "local") is not None
+        assert graph.resolve("pkg.b", "helper") is None
+        assert "pkg.b" in graph.wildcard_importers
+
+    def test_external_names_unresolved(self):
+        graph = graph_for(**{"pkg.a": "import numpy as np\n"})
+        assert graph.resolve("pkg.a", "np.array") is None
+        assert graph.resolve("pkg.a", "undefined") is None
+
+    def test_import_cycle_terminates(self):
+        graph = graph_for(**{
+            "pkg.a": "from pkg.b import thing\n",
+            "pkg.b": "from pkg.a import thing\n",
+        })
+        assert graph.resolve("pkg.a", "thing") is None
+
+
+# --------------------------------------------------------------------------- #
+# call resolution
+# --------------------------------------------------------------------------- #
+class TestCallResolution:
+    def _one_function(self, graph, module, qualname):
+        facts = graph.modules[module]
+        return facts, facts.functions[qualname]
+
+    def test_self_method_resolves_within_class(self):
+        graph = graph_for(**{
+            "pkg.a": """
+                class C:
+                    def outer(self):
+                        self.inner()
+
+                    def inner(self):
+                        pass
+                """,
+        })
+        facts, fn = self._one_function(graph, "pkg.a", "C.outer")
+        ref = graph.resolve_call(facts, fn, "self.inner")
+        assert (ref.module, ref.qualname) == ("pkg.a", "C.inner")
+
+    def test_constructor_typed_attribute_followed(self):
+        graph = graph_for(**{
+            "pkg.sup": """
+                class Supervisor:
+                    def replan(self):
+                        pass
+                """,
+            "pkg.coord": """
+                from pkg.sup import Supervisor
+
+
+                class Coordinator:
+                    def __init__(self):
+                        self._sup = Supervisor()
+
+                    def merge(self):
+                        self._sup.replan()
+                """,
+        })
+        facts, fn = self._one_function(graph, "pkg.coord", "Coordinator.merge")
+        ref = graph.resolve_call(facts, fn, "self._sup.replan")
+        assert (ref.module, ref.qualname) == ("pkg.sup", "Supervisor.replan")
+
+    def test_constructor_typed_local_followed(self):
+        graph = graph_for(**{
+            "pkg.coord": """
+                class Coordinator:
+                    def merge(self):
+                        pass
+
+
+                def run():
+                    coord = Coordinator()
+                    coord.merge()
+                """,
+        })
+        facts, fn = self._one_function(graph, "pkg.coord", "run")
+        ref = graph.resolve_call(facts, fn, "coord.merge")
+        assert (ref.module, ref.qualname) == ("pkg.coord", "Coordinator.merge")
+
+    def test_callback_alias_followed(self):
+        graph = graph_for(**{
+            "pkg.a": """
+                def helper():
+                    pass
+
+
+                def run():
+                    fn = helper
+                    fn()
+                """,
+        })
+        facts, fn = self._one_function(graph, "pkg.a", "run")
+        ref = graph.resolve_call(facts, fn, "fn")
+        assert (ref.module, ref.qualname) == ("pkg.a", "helper")
+
+    def test_class_call_resolves_to_init(self):
+        graph = graph_for(**{
+            "pkg.a": """
+                class Engine:
+                    def __init__(self):
+                        pass
+
+
+                def run():
+                    Engine()
+                """,
+        })
+        facts, fn = self._one_function(graph, "pkg.a", "run")
+        ref = graph.resolve_call(facts, fn, "Engine")
+        assert (ref.qualname, ref.kind) == ("Engine.__init__", "function")
+
+    def test_inherited_method_found_via_base_class_walk(self):
+        graph = graph_for(**{
+            "pkg.base": """
+                class Base:
+                    def shutdown(self):
+                        pass
+                """,
+            "pkg.derived": """
+                from pkg.base import Base
+
+
+                class Worker(Base):
+                    def run(self):
+                        self.shutdown()
+                """,
+        })
+        facts, fn = self._one_function(graph, "pkg.derived", "Worker.run")
+        ref = graph.resolve_call(facts, fn, "self.shutdown")
+        assert (ref.module, ref.qualname) == ("pkg.base", "Base.shutdown")
+
+    def test_unresolvable_call_returns_none(self):
+        graph = graph_for(**{"pkg.a": "def run(cb):\n    cb()\n"})
+        facts, fn = self._one_function(graph, "pkg.a", "run")
+        assert graph.resolve_call(facts, fn, "cb") is None
+
+
+# --------------------------------------------------------------------------- #
+# facts round-trip
+# --------------------------------------------------------------------------- #
+class TestFactsRoundTrip:
+    RICH_SOURCE = """
+        import threading
+        from typing import Set
+
+        from pkg.other import helper as h
+
+        KNOWN = {"a", "b"}
+        _LOCK = threading.Lock()
+
+
+        class Planner:
+            def __init__(self):
+                self._lock = threading.RLock()
+                self.pending = set()
+
+            def drain(self, shards: Set[int]) -> Set[int]:
+                with self._lock:
+                    out = {s for s in shards}
+                for item in sorted(self.pending):
+                    h(item, timeout=1)
+                model = h()
+                return out
+        """
+
+    def test_to_dict_from_dict_is_exact(self):
+        original = facts_for("pkg.planner", self.RICH_SOURCE)
+        # through real JSON, exactly as the cache stores it
+        restored = ModuleFacts.from_dict(json.loads(json.dumps(original.to_dict())))
+        assert restored.to_dict() == original.to_dict()
+        assert restored.module == "pkg.planner"
+        assert restored.content_hash == original.content_hash
+        fn = restored.functions["Planner.drain"]
+        assert fn.params == ["self", "shards"]
+        assert fn.lock_acquires[0].lock == "self._lock"
+        assert restored.classes["Planner"].set_attrs == ["pending"]
+        assert restored.module_sets == ["KNOWN"]
+
+    def test_restored_facts_build_an_equivalent_graph(self):
+        original = facts_for("pkg.planner", self.RICH_SOURCE)
+        restored = ModuleFacts.from_dict(json.loads(json.dumps(original.to_dict())))
+        before, after = build_graph([original]), build_graph([restored])
+        assert before.returns_model() == after.returns_model()
+        assert before.transitive_locks() == after.transitive_locks()
+
+
+# --------------------------------------------------------------------------- #
+# cache & invalidation
+# --------------------------------------------------------------------------- #
+def write_pkg(tmp_path) -> Path:
+    """A three-deep import chain: a.py -> b.py -> c.py."""
+    pkg = tmp_path / "pkg"
+    pkg.mkdir()
+    (pkg / "__init__.py").write_text("")
+    (pkg / "c.py").write_text("def leaf():\n    return 1\n")
+    (pkg / "b.py").write_text(
+        "from pkg.c import leaf\n\n\ndef mid():\n    return leaf()\n"
+    )
+    (pkg / "a.py").write_text(
+        "from pkg.b import mid\n\n\ndef top():\n    return mid()\n"
+    )
+    return pkg
+
+
+def names(paths) -> set:
+    return {Path(p).name for p in paths}
+
+
+class TestCacheInvalidation:
+    def test_cold_then_warm(self, tmp_path):
+        pkg = write_pkg(tmp_path)
+        cache_dir = str(tmp_path / "cache")
+        cold = analyze_program([str(pkg)], cache_dir=cache_dir)
+        assert cold.cache_misses == 4 and cold.cache_hits == 0
+        assert names(cold.reparsed) == {"__init__.py", "a.py", "b.py", "c.py"}
+        warm = analyze_program([str(pkg)], cache_dir=cache_dir)
+        assert warm.cache_hits == 4 and warm.cache_misses == 0
+        assert warm.reparsed == [] and warm.invalidated == []
+        assert warm.findings == cold.findings
+        assert warm.files_scanned == cold.files_scanned
+
+    def test_one_file_edit_invalidates_reverse_import_closure(self, tmp_path):
+        pkg = write_pkg(tmp_path)
+        cache_dir = str(tmp_path / "cache")
+        analyze_program([str(pkg)], cache_dir=cache_dir)
+        (pkg / "c.py").write_text("def leaf():\n    return 2\n")
+        run = analyze_program([str(pkg)], cache_dir=cache_dir)
+        assert names(run.reparsed) == {"c.py"}
+        assert run.cache_hits == 3 and run.cache_misses == 1
+        # b imports c and a imports b: both can see c's symbols
+        assert names(run.invalidated) == {"a.py", "b.py", "c.py"}
+
+    def test_leaf_of_the_import_chain_invalidates_only_itself(self, tmp_path):
+        pkg = write_pkg(tmp_path)
+        cache_dir = str(tmp_path / "cache")
+        analyze_program([str(pkg)], cache_dir=cache_dir)
+        (pkg / "a.py").write_text(
+            "from pkg.b import mid\n\n\ndef top():\n    return mid() + 1\n"
+        )
+        run = analyze_program([str(pkg)], cache_dir=cache_dir)
+        assert names(run.reparsed) == {"a.py"}
+        assert names(run.invalidated) == {"a.py"}
+
+    def test_stale_fingerprint_means_cold_start(self, tmp_path):
+        pkg = write_pkg(tmp_path)
+        cache_dir = tmp_path / "cache"
+        analyze_program([str(pkg)], cache_dir=str(cache_dir))
+        store = cache_dir / "program-cache.json"
+        payload = json.loads(store.read_text())
+        payload["fingerprint"] = "0" * 64
+        store.write_text(json.dumps(payload))
+        run = analyze_program([str(pkg)], cache_dir=str(cache_dir))
+        assert run.cache_hits == 0 and run.cache_misses == 4
+
+    def test_corrupt_cache_file_means_cold_start(self, tmp_path):
+        pkg = write_pkg(tmp_path)
+        cache_dir = tmp_path / "cache"
+        analyze_program([str(pkg)], cache_dir=str(cache_dir))
+        (cache_dir / "program-cache.json").write_text("{not json")
+        run = analyze_program([str(pkg)], cache_dir=str(cache_dir))
+        assert run.cache_hits == 0 and run.cache_misses == 4
+        # and the cold run repaired the store
+        rerun = analyze_program([str(pkg)], cache_dir=str(cache_dir))
+        assert rerun.cache_hits == 4
+
+    def test_deleted_file_pruned_from_cache(self, tmp_path):
+        pkg = write_pkg(tmp_path)
+        cache_dir = tmp_path / "cache"
+        analyze_program([str(pkg)], cache_dir=str(cache_dir))
+        (pkg / "a.py").unlink()
+        analyze_program([str(pkg)], cache_dir=str(cache_dir))
+        stored = json.loads((cache_dir / "program-cache.json").read_text())
+        assert names(stored["entries"]) == {"__init__.py", "b.py", "c.py"}
+
+    def test_uncached_run_reparses_everything(self, tmp_path):
+        pkg = write_pkg(tmp_path)
+        run = analyze_program([str(pkg)])
+        assert run.cache_hits == 0 and run.cache_misses == 4
+
+    def test_fingerprint_is_stable_within_a_process(self):
+        assert analysis_fingerprint() == analysis_fingerprint()
+        assert len(analysis_fingerprint()) == 64
+
+    def test_cache_version_bump_invalidates(self, tmp_path):
+        pkg = write_pkg(tmp_path)
+        cache_dir = tmp_path / "cache"
+        analyze_program([str(pkg)], cache_dir=str(cache_dir))
+        store = cache_dir / "program-cache.json"
+        payload = json.loads(store.read_text())
+        assert payload["version"] == CACHE_VERSION
+        payload["version"] = "0"
+        store.write_text(json.dumps(payload))
+        assert ProgramCache(cache_dir).entries == {}
+
+
+# --------------------------------------------------------------------------- #
+# parallel cold runs
+# --------------------------------------------------------------------------- #
+class TestParallelAnalysis:
+    def test_pool_run_matches_serial_run(self, tmp_path):
+        pkg = tmp_path / "pkg"
+        pkg.mkdir()
+        (pkg / "__init__.py").write_text("")
+        for i in range(9):  # above MIN_FILES_FOR_POOL
+            (pkg / f"mod{i}.py").write_text(
+                f"def f{i}(model, x):\n    return model.predict(x)\n"
+            )
+        serial = analyze_program([str(pkg)], jobs=1)
+        pooled = analyze_program([str(pkg)], jobs=2)
+        assert pooled.findings == serial.findings
+        assert len(pooled.findings) == 9
+        assert pooled.files_scanned == serial.files_scanned == 10
+
+    def test_pool_results_are_cacheable(self, tmp_path):
+        pkg = tmp_path / "pkg"
+        pkg.mkdir()
+        (pkg / "__init__.py").write_text("")
+        for i in range(9):
+            (pkg / f"mod{i}.py").write_text(f"def f{i}():\n    return {i}\n")
+        cache_dir = str(tmp_path / "cache")
+        cold = analyze_program([str(pkg)], cache_dir=cache_dir, jobs=2)
+        assert cold.cache_misses == 10
+        warm = analyze_program([str(pkg)], cache_dir=cache_dir, jobs=2)
+        assert warm.cache_hits == 10 and warm.reparsed == []
+        assert warm.findings == cold.findings
